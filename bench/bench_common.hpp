@@ -1,0 +1,53 @@
+// Shared plumbing for the benchmark harnesses.
+//
+// Dataset scale defaults to kTiny so `for b in build/bench/*; do $b; done`
+// completes in minutes; set IPCOMP_DATA_SCALE=small or =full to reproduce at
+// larger sizes (full = the paper's Table 3 shapes).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/ipcomp_adapter.hpp"
+#include "data/datasets.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+
+namespace ipcomp::bench {
+
+inline DataScale scale() {
+  const char* v = std::getenv("IPCOMP_DATA_SCALE");
+  if (!v) return DataScale::kTiny;
+  std::string s(v);
+  if (s == "small") return DataScale::kSmall;
+  if (s == "full" || s == "paper") return DataScale::kPaper;
+  return DataScale::kTiny;
+}
+
+inline const char* scale_name() {
+  switch (scale()) {
+    case DataScale::kTiny: return "tiny";
+    case DataScale::kSmall: return "small";
+    case DataScale::kPaper: return "full";
+  }
+  return "?";
+}
+
+inline std::vector<DatasetSpec> datasets() { return standard_datasets(scale()); }
+
+inline const NdArray<double>& data_for(const DatasetSpec& spec) {
+  return cached_field(spec.field, scale());
+}
+
+inline double range_of(const NdArray<double>& d) {
+  return value_range<double>({d.data(), d.count()});
+}
+
+inline void banner(const char* what, const char* paper_ref) {
+  std::printf("=== %s (%s) ===\n", what, paper_ref);
+  std::printf("data scale: %s (IPCOMP_DATA_SCALE=tiny|small|full)\n\n",
+              scale_name());
+}
+
+}  // namespace ipcomp::bench

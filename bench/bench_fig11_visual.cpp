@@ -1,0 +1,73 @@
+// Figure 11: visual quality of post-analysis quantities at partial retrieval.
+// Loads 0.1%, 0.3% and 1% of the compressed Density/velocity data, computes
+// Curl and Laplacian, writes mid-slice PGM images and reports NRMSE against
+// the full-precision analysis.  Curl should be usable at 0.3%; the Laplacian
+// needs ~1% — the paper's motivating observation.
+#include "analysis/image.hpp"
+#include "analysis/stencil.hpp"
+#include "bench_common.hpp"
+#include "ipcomp.hpp"
+
+int main() {
+  using namespace ipcomp;
+  using namespace ipcomp::bench;
+  banner("Visual quality of Curl / Laplacian at partial retrieval",
+         "paper Fig. 11");
+
+  const auto& density = cached_field(Field::kDensity, scale());
+  const auto& vx = cached_field(Field::kVelocityX, scale());
+  const auto& vy = cached_field(Field::kVelocityY, scale());
+  const auto& vz = cached_field(Field::kVelocityZ, scale());
+  const Dims dims = density.dims();
+  const std::size_t mid = dims[0] / 2;
+
+  // The paper's 0.1/0.3/1% apply to the full 256x384x384 grid, where 0.1% is
+  // ~1 MiB; at reduced scales the archive's mandatory segments alone exceed
+  // that, so the fractions are scaled to keep the sweep informative.
+  std::vector<double> fractions;
+  switch (scale()) {
+    case DataScale::kPaper: fractions = {0.001, 0.003, 0.01}; break;
+    case DataScale::kSmall: fractions = {0.003, 0.01, 0.03}; break;
+    case DataScale::kTiny: fractions = {0.01, 0.03, 0.10}; break;
+  }
+
+  auto curl_ref = curl_magnitude(vx.const_view(), vy.const_view(), vz.const_view());
+  auto lap_ref = laplacian(density.const_view());
+  const double curl_hi = value_range<double>({curl_ref.data(), curl_ref.count()});
+  write_slice_pgm("fig11_curl_reference.pgm", curl_ref.const_view(), mid, 0, curl_hi);
+  write_slice_pgm("fig11_laplace_reference.pgm", lap_ref.const_view(), mid, -0.5, 0.5);
+
+  Options opt;
+  opt.error_bound = 1e-9;
+  MemorySource dsrc(compress(density.const_view(), opt));
+  MemorySource xsrc(compress(vx.const_view(), opt));
+  MemorySource ysrc(compress(vy.const_view(), opt));
+  MemorySource zsrc(compress(vz.const_view(), opt));
+  ProgressiveReader<double> dr(dsrc), xr(xsrc), yr(ysrc), zr(zsrc);
+
+  TableReporter table({"retrieved", "curl NRMSE", "laplace NRMSE",
+                       "curl image", "laplace image"});
+  for (double fraction : fractions) {
+    const double bits = fraction * 64.0;
+    dr.request_bitrate(bits);
+    xr.request_bitrate(bits);
+    yr.request_bitrate(bits);
+    zr.request_bitrate(bits);
+    auto curl = curl_magnitude({xr.data().data(), dims}, {yr.data().data(), dims},
+                               {zr.data().data(), dims});
+    auto lap = laplacian(NdConstView<double>(dr.data().data(), dims));
+    const std::string tag = TableReporter::num(fraction * 100, 2);
+    const std::string curl_png = "fig11_curl_" + tag + "pct.pgm";
+    const std::string lap_png = "fig11_laplace_" + tag + "pct.pgm";
+    write_slice_pgm(curl_png, curl.const_view(), mid, 0, curl_hi);
+    write_slice_pgm(lap_png, lap.const_view(), mid, -0.5, 0.5);
+    table.row({tag + "%",
+               TableReporter::num(nrmse(curl_ref.const_view(), curl.const_view()), 4),
+               TableReporter::num(nrmse(lap_ref.const_view(), lap.const_view()), 4),
+               curl_png, lap_png});
+  }
+  std::printf("\nExpected shape: the curl (first derivatives) reaches a usable "
+              "NRMSE one step earlier in the sweep than the Laplacian (second "
+              "derivatives) — the paper's Fig. 11 observation.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 7: bitrate-mode retrieval — the L∞ error each compressor achieves
+// within a retrieval budget of B bits per value.  Archives are written once
+// at eb = 1e-9 x range.  Lower error is better.  Only IPComp plans directly
+// for a byte budget; the baselines pick their best anchor that fits (the
+// paper applies the same manual policy).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ipcomp;
+  using namespace ipcomp::bench;
+  banner("Reconstruction error under bitrate budgets", "paper Fig. 7");
+
+  auto lineup = evaluation_lineup();
+  const double budgets_bpv[] = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+
+  for (const auto& spec : datasets()) {
+    const auto& data = data_for(spec);
+    const double eb = 1e-9 * range_of(data);
+    const std::size_t n = data.count();
+
+    std::printf("--- %s (%s) ---\n", spec.name.c_str(),
+                spec.dims.to_string().c_str());
+    std::vector<Bytes> archives;
+    for (auto& c : lineup) archives.push_back(c->compress(data.const_view(), eb));
+
+    std::vector<std::string> cols = {"budget bpv"};
+    for (auto& c : lineup) cols.push_back(c->name() + " Linf");
+    TableReporter table(cols);
+    for (double bpv : budgets_bpv) {
+      const auto budget =
+          static_cast<std::uint64_t>(bpv * static_cast<double>(n) / 8.0);
+      std::vector<std::string> row = {TableReporter::num(bpv, 3)};
+      for (std::size_t i = 0; i < lineup.size(); ++i) {
+        auto r = lineup[i]->retrieve_bytes(archives[i], budget);
+        auto stats = compute_error_stats<double>({data.data(), n},
+                                                 {r.data.data(), n});
+        // Budget overruns (baselines whose coarsest stage exceeds the budget)
+        // are flagged with '!'.
+        row.push_back(TableReporter::sci(stats.max_abs, 2) +
+                      (r.bytes_loaded <= budget ? "" : "!"));
+      }
+      table.row(row);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape: IPComp reaches the lowest error at every "
+              "budget; '!' marks baselines that cannot fit their coarsest "
+              "stage into the budget.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 8: compression and decompression throughput of every compressor
+// (including SPERR-R, which the paper adds to this figure only).  All run at
+// eb = 1e-9 x range; decompression retrieves full fidelity.  google-benchmark
+// binary; reported rate is uncompressed MB/s.
+//
+// PMGARD compresses losslessly by design, so its compression numbers are not
+// eb-comparable (the paper notes the same caveat).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ipcomp;
+using namespace ipcomp::bench;
+
+void bm_compress(benchmark::State& state,
+                 std::shared_ptr<ProgressiveCompressor> comp,
+                 const DatasetSpec spec) {
+  const auto& data = data_for(spec);
+  const double eb = 1e-9 * range_of(data);
+  std::size_t archive_size = 0;
+  for (auto _ : state) {
+    Bytes archive = comp->compress(data.const_view(), eb);
+    archive_size = archive.size();
+    benchmark::DoNotOptimize(archive.data());
+  }
+  const auto raw = static_cast<std::int64_t>(data.count() * sizeof(double));
+  state.SetBytesProcessed(state.iterations() * raw);
+  state.counters["ratio"] = static_cast<double>(raw) /
+                            static_cast<double>(archive_size);
+}
+
+void bm_decompress(benchmark::State& state,
+                   std::shared_ptr<ProgressiveCompressor> comp,
+                   const DatasetSpec spec) {
+  const auto& data = data_for(spec);
+  const double eb = 1e-9 * range_of(data);
+  Bytes archive = comp->compress(data.const_view(), eb);
+  int passes = 0;
+  for (auto _ : state) {
+    auto r = comp->retrieve_error(archive, eb);
+    passes = r.passes;
+    benchmark::DoNotOptimize(r.data.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.count() * sizeof(double)));
+  state.counters["passes"] = passes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  banner("Compression / decompression speed", "paper Fig. 8");
+  for (const auto& spec : datasets()) {
+    for (auto& comp : speed_lineup()) {
+      benchmark::RegisterBenchmark(
+          ("compress/" + comp->name() + "/" + spec.name).c_str(),
+          [comp, spec](benchmark::State& st) { bm_compress(st, comp, spec); })
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          ("decompress/" + comp->name() + "/" + spec.name).c_str(),
+          [comp, spec](benchmark::State& st) { bm_decompress(st, comp, spec); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\nExpected shape: IPComp fastest or near-fastest except SZ3-M "
+              "decompression (single-output decode, but its Fig. 5 ratio is "
+              "unusable); SPERR-R slowest; residual methods pay one pass per "
+              "stage.\n");
+  return 0;
+}

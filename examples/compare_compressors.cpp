@@ -1,0 +1,55 @@
+// Side-by-side comparison of all progressive compressors on one dataset:
+// storage ratio, retrieval volume at a mid fidelity, and pass counts.
+//
+//   ./compare_compressors [field] [tiny|small|full]
+//   field in {Density, Pressure, VelocityX, Wave, SpeedX, CH4}
+#include <cstring>
+#include <iostream>
+
+#include "baselines/ipcomp_adapter.hpp"
+#include "data/datasets.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ipcomp;
+
+  Field field = Field::kDensity;
+  if (argc > 1) {
+    for (Field f : {Field::kDensity, Field::kPressure, Field::kVelocityX,
+                    Field::kWave, Field::kSpeedX, Field::kCH4}) {
+      if (std::strcmp(argv[1], field_name(f)) == 0) field = f;
+    }
+  }
+  DataScale scale = DataScale::kTiny;
+  if (argc > 2 && std::strcmp(argv[2], "small") == 0) scale = DataScale::kSmall;
+  if (argc > 2 && std::strcmp(argv[2], "full") == 0) scale = DataScale::kPaper;
+
+  const auto& data = cached_field(field, scale);
+  const std::size_t raw = data.count() * sizeof(double);
+  const double range = value_range<double>({data.data(), data.count()});
+  const double eb = 1e-6 * range;      // storage bound
+  const double target = 1e-3 * range;  // mid-fidelity retrieval target
+
+  std::cout << "dataset " << field_name(field) << " " << data.dims().to_string()
+            << ", eb = 1e-6 rel, retrieval target = 1e-3 rel\n\n";
+  TableReporter table({"compressor", "ratio", "comp MB/s", "retrieved KiB",
+                       "passes", "L-inf ok"});
+
+  for (auto& c : speed_lineup()) {
+    Timer t;
+    Bytes archive = c->compress(data.const_view(), eb);
+    const double comp_s = t.seconds();
+    auto r = c->retrieve_error(archive, target);
+    auto stats = compute_error_stats<double>({data.data(), data.count()},
+                                             {r.data.data(), r.data.size()});
+    table.row({c->name(), TableReporter::num(compression_ratio(raw, archive.size())),
+               TableReporter::num(mb_per_s(raw, comp_s)),
+               std::to_string(r.bytes_loaded / 1024), std::to_string(r.passes),
+               stats.max_abs <= target * (1 + 1e-9) ? "yes" : "NO"});
+  }
+  std::cout << "\nIPComp: highest ratio, single-pass retrieval at arbitrary\n"
+               "fidelity; residual methods need one pass per loaded stage.\n";
+  return 0;
+}

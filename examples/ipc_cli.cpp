@@ -1,0 +1,216 @@
+// ipc — command-line front end for IPComp archives.
+//
+//   ipc compress <input.raw> <output.ipc> --dims ZxYxX [--type f64|f32]
+//                [--eb 1e-6] [--abs] [--interp cubic|linear]
+//   ipc retrieve <archive.ipc> <output.raw> (--eb E | --bitrate B | --full)
+//   ipc info     <archive.ipc>
+//   ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]
+//
+// Raw files are dense row-major little-endian arrays (SDRBench layout).
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ipcomp.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+
+namespace {
+
+using namespace ipcomp;
+
+[[noreturn]] void usage(const std::string& msg = "") {
+  if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  ipc compress <input.raw> <output.ipc> --dims ZxYxX [--type f64|f32]\n"
+      "               [--eb 1e-6] [--abs] [--interp cubic|linear]\n"
+      "  ipc retrieve <archive.ipc> <output.raw> (--eb E | --bitrate B | --full)\n"
+      "  ipc info     <archive.ipc>\n"
+      "  ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]\n";
+  std::exit(2);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 2; i < argc; ++i) {
+      std::string s = argv[i];
+      if (s.rfind("--", 0) == 0) {
+        std::string key = s.substr(2);
+        if (key == "abs" || key == "full") {
+          a.flags[key] = "1";
+        } else {
+          if (i + 1 >= argc) usage("missing value for --" + key);
+          a.flags[key] = argv[++i];
+        }
+      } else {
+        a.positional.push_back(s);
+      }
+    }
+    return a;
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+Dims parse_dims(const std::string& spec) {
+  std::size_t extents[kMaxRank];
+  std::size_t rank = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    if (rank >= kMaxRank) usage("too many dimensions in --dims");
+    std::size_t next = spec.find('x', pos);
+    std::string part = spec.substr(pos, next == std::string::npos ? next : next - pos);
+    extents[rank++] = std::stoull(part);
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  if (rank == 0) usage("empty --dims");
+  return Dims::of_rank(rank, extents);
+}
+
+template <typename T>
+std::vector<T> read_raw(const std::string& path, std::size_t count) {
+  Bytes raw = read_file(path);
+  if (raw.size() != count * sizeof(T)) {
+    usage("file " + path + " has " + std::to_string(raw.size()) +
+          " bytes, expected " + std::to_string(count * sizeof(T)));
+  }
+  std::vector<T> out(count);
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+template <typename T>
+void write_raw(const std::string& path, const std::vector<T>& values) {
+  Bytes raw(values.size() * sizeof(T));
+  std::memcpy(raw.data(), values.data(), raw.size());
+  write_file(path, raw);
+}
+
+template <typename T>
+int do_compress(const Args& a) {
+  Dims dims = parse_dims(*a.get("dims"));
+  auto values = read_raw<T>(a.positional[0], dims.count());
+
+  Options opt;
+  opt.error_bound = a.get("eb") ? std::stod(*a.get("eb")) : 1e-6;
+  opt.relative = !a.get("abs");
+  opt.interp = a.get("interp") == std::optional<std::string>("linear")
+                   ? InterpKind::kLinear
+                   : InterpKind::kCubic;
+  Bytes archive = compress(NdConstView<T>(values.data(), dims), opt);
+  write_file(a.positional[1], archive);
+
+  std::cout << "compressed " << dims.to_string() << " ("
+            << dims.count() * sizeof(T) << " bytes) -> " << archive.size()
+            << " bytes, ratio "
+            << TableReporter::num(
+                   compression_ratio(dims.count() * sizeof(T), archive.size()))
+            << "\n";
+  return 0;
+}
+
+template <typename T>
+int do_retrieve(const Args& a) {
+  FileSource src(a.positional[0]);
+  ProgressiveReader<T> reader(src);
+  RetrievalStats st;
+  if (a.get("full")) {
+    st = reader.request_full();
+  } else if (a.get("eb")) {
+    st = reader.request_error_bound(std::stod(*a.get("eb")));
+  } else if (a.get("bitrate")) {
+    st = reader.request_bitrate(std::stod(*a.get("bitrate")));
+  } else {
+    usage("retrieve needs --eb, --bitrate or --full");
+  }
+  write_raw<T>(a.positional[1], reader.data());
+  std::cout << "retrieved " << reader.header().dims.to_string() << ": loaded "
+            << st.bytes_total << " bytes ("
+            << TableReporter::num(st.bitrate, 4) << " bits/value), guaranteed "
+            << "L-inf error " << TableReporter::sci(st.guaranteed_error) << "\n";
+  return 0;
+}
+
+int do_info(const Args& a) {
+  FileSource src(a.positional[0]);
+  Header h = Header::parse(src.header());
+  std::cout << "dims        : " << h.dims.to_string() << "\n"
+            << "type        : " << (h.dtype == DataType::kFloat64 ? "f64" : "f32")
+            << "\n"
+            << "error bound : " << TableReporter::sci(h.eb) << " (absolute)\n"
+            << "interpolation: " << to_string(h.interp) << "\n"
+            << "prefix bits : " << h.prefix_bits << "\n"
+            << "value range : [" << TableReporter::num(h.data_min, 6) << ", "
+            << TableReporter::num(h.data_max, 6) << "]\n"
+            << "archive size: " << src.total_size() << " bytes\n"
+            << "levels      :\n";
+  for (std::size_t li = h.levels.size(); li-- > 0;) {
+    const auto& l = h.levels[li];
+    std::cout << "  level " << li + 1 << ": " << l.count << " values, "
+              << (l.progressive ? std::to_string(l.n_planes) + " bitplanes"
+                                : std::string("solid"))
+              << ", " << l.outlier_count << " outliers\n";
+  }
+  return 0;
+}
+
+template <typename T>
+int do_stats(const Args& a) {
+  Dims dims = parse_dims(*a.get("dims"));
+  auto original = read_raw<T>(a.positional[0], dims.count());
+  auto candidate = read_raw<T>(a.positional[1], dims.count());
+  auto s = compute_error_stats<T>(original, candidate);
+  std::cout << "max |error| : " << TableReporter::sci(s.max_abs) << "\n"
+            << "MSE         : " << TableReporter::sci(s.mse) << "\n"
+            << "PSNR        : " << TableReporter::num(s.psnr, 5) << " dB\n"
+            << "value range : " << TableReporter::num(s.range, 6) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  Args args = Args::parse(argc, argv);
+  const bool f32 = args.get("type") == std::optional<std::string>("f32");
+
+  try {
+    if (cmd == "compress") {
+      if (args.positional.size() != 2 || !args.get("dims")) usage();
+      return f32 ? do_compress<float>(args) : do_compress<double>(args);
+    }
+    if (cmd == "retrieve") {
+      if (args.positional.size() != 2) usage();
+      // Value type is recorded in the archive; probe it.
+      FileSource probe(args.positional[0]);
+      bool is32 = Header::parse(probe.header()).dtype == DataType::kFloat32;
+      return is32 ? do_retrieve<float>(args) : do_retrieve<double>(args);
+    }
+    if (cmd == "info") {
+      if (args.positional.size() != 1) usage();
+      return do_info(args);
+    }
+    if (cmd == "stats") {
+      if (args.positional.size() != 2 || !args.get("dims")) usage();
+      return f32 ? do_stats<float>(args) : do_stats<double>(args);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage("unknown command " + cmd);
+}

@@ -1,0 +1,94 @@
+// Progressive post-analysis (the paper's Fig. 11 scenario): retrieve 0.1%,
+// 0.3% and 1% of the data and evaluate two derived quantities — curl of the
+// velocity field and Laplacian of the density field.  Curl (first
+// derivatives) stabilizes with far less data than the Laplacian (second
+// derivatives), demonstrating why progressive retrieval matters.
+//
+//   ./progressive_analysis [tiny|small|full] [output_dir]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/image.hpp"
+#include "analysis/stencil.hpp"
+#include "data/datasets.hpp"
+#include "ipcomp.hpp"
+#include "metrics/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ipcomp;
+
+  DataScale scale = DataScale::kTiny;
+  if (argc > 1 && std::strcmp(argv[1], "small") == 0) scale = DataScale::kSmall;
+  if (argc > 1 && std::strcmp(argv[1], "full") == 0) scale = DataScale::kPaper;
+  const std::string out_dir = argc > 2 ? argv[2] : ".";
+
+  const auto& density = cached_field(Field::kDensity, scale);
+  const auto& vx = cached_field(Field::kVelocityX, scale);
+  const auto& vy = cached_field(Field::kVelocityY, scale);
+  const auto& vz = cached_field(Field::kVelocityZ, scale);
+
+  // Reference analyses on the original data.
+  auto curl_ref = curl_magnitude(vx.const_view(), vy.const_view(), vz.const_view());
+  auto lap_ref = laplacian(density.const_view());
+
+  Options opt;
+  opt.error_bound = 1e-9;
+  std::cout << "Compressing density + 3 velocity components (eb = 1e-9 rel)...\n";
+  MemorySource dsrc(compress(density.const_view(), opt));
+  MemorySource xsrc(compress(vx.const_view(), opt));
+  MemorySource ysrc(compress(vy.const_view(), opt));
+  MemorySource zsrc(compress(vz.const_view(), opt));
+  ProgressiveReader<double> dr(dsrc), xr(xsrc), yr(ysrc), zr(zsrc);
+
+  const Dims dims = density.dims();
+  const std::size_t mid = dims[0] / 2;
+  TableReporter table({"retrieved", "curl NRMSE", "laplace NRMSE", "verdict"});
+
+  // The paper's 0.1/0.3/1% assume the full-size grids; scale the fractions so
+  // the sweep stays informative at reduced sizes (see bench_fig11_visual).
+  std::vector<double> fractions = scale == DataScale::kPaper
+                                      ? std::vector<double>{0.001, 0.003, 0.01}
+                                  : scale == DataScale::kSmall
+                                      ? std::vector<double>{0.003, 0.01, 0.03}
+                                      : std::vector<double>{0.01, 0.03, 0.10};
+  for (double fraction : fractions) {
+    const double bits = fraction * 64.0;  // fraction of the raw 64-bit data
+    dr.request_bitrate(bits);
+    xr.request_bitrate(bits);
+    yr.request_bitrate(bits);
+    zr.request_bitrate(bits);
+
+    NdConstView<double> dvx(xr.data().data(), dims);
+    NdConstView<double> dvy(yr.data().data(), dims);
+    NdConstView<double> dvz(zr.data().data(), dims);
+    NdConstView<double> dd(dr.data().data(), dims);
+    auto curl = curl_magnitude(dvx, dvy, dvz);
+    auto lap = laplacian(dd);
+
+    const double curl_err = nrmse(curl_ref.const_view(), curl.const_view());
+    const double lap_err = nrmse(lap_ref.const_view(), lap.const_view());
+    std::string verdict = curl_err < 0.05
+                              ? (lap_err < 0.05 ? "both usable" : "curl usable")
+                              : "too coarse";
+    table.row({TableReporter::num(fraction * 100, 2) + "%",
+               TableReporter::num(curl_err, 4), TableReporter::num(lap_err, 4),
+               verdict});
+
+    const std::string tag = std::to_string(fraction * 100);
+    write_slice_pgm(out_dir + "/curl_" + tag + "pct.pgm", curl.const_view(), mid,
+                    0.0, 6.0);
+    write_slice_pgm(out_dir + "/laplace_" + tag + "pct.pgm", lap.const_view(), mid,
+                    -0.5, 0.5);
+  }
+
+  // Reference images for comparison.
+  write_slice_pgm(out_dir + "/curl_ref.pgm", curl_ref.const_view(), mid, 0.0, 6.0);
+  write_slice_pgm(out_dir + "/laplace_ref.pgm", lap_ref.const_view(), mid, -0.5, 0.5);
+  std::cout << "\nSlice images written to " << out_dir
+            << " (curl_*.pgm, laplace_*.pgm).\n"
+            << "Derived quantities need different retrieval fidelity: the\n"
+            << "coarsest step is unusable, one more step suffices for the\n"
+            << "curl, and the finest serves both (paper Fig. 11).\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: compress a scientific field once, then retrieve it at three
+// fidelity levels — each refinement loads only the additional bitplanes.
+//
+//   ./quickstart [tiny|small|full]
+#include <cstring>
+#include <iostream>
+
+#include "data/datasets.hpp"
+#include "ipcomp.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ipcomp;
+
+  DataScale scale = DataScale::kTiny;
+  if (argc > 1 && std::strcmp(argv[1], "small") == 0) scale = DataScale::kSmall;
+  if (argc > 1 && std::strcmp(argv[1], "full") == 0) scale = DataScale::kPaper;
+
+  // 1. A scientific dataset: turbulence density (synthetic Miranda stand-in).
+  auto spec = dataset_spec(Field::kDensity, scale);
+  const NdArray<double>& field = cached_field(Field::kDensity, scale);
+  std::cout << "dataset   : " << spec.name << " (" << spec.domain << "), "
+            << spec.dims.to_string() << " float64, "
+            << field.count() * sizeof(double) / 1024 << " KiB raw\n";
+
+  // 2. Compress once with a tight bound (1e-9 relative, like the paper).
+  Options opt;
+  opt.error_bound = 1e-9;
+  opt.relative = true;
+  Bytes archive = compress(field.const_view(), opt);
+  std::cout << "compressed: " << archive.size() / 1024 << " KiB  (ratio "
+            << TableReporter::num(compression_ratio(field.count() * 8, archive.size()))
+            << ", eb = 1e-9 x range)\n\n";
+
+  // 3. Progressive retrieval: coarse -> medium -> full, one reader.
+  MemorySource src(std::move(archive));
+  ProgressiveReader<double> reader(src);
+
+  auto report = [&](const char* label, const RetrievalStats& st) {
+    auto err = compute_error_stats<double>(field.const_view().span(),
+                                           {reader.data().data(), reader.data().size()});
+    std::cout << label << ": loaded " << st.bytes_total / 1024 << " KiB total ("
+              << TableReporter::num(st.bitrate, 3) << " bits/value), "
+              << "L-inf error " << TableReporter::sci(err.max_abs)
+              << " (guaranteed <= " << TableReporter::sci(st.guaranteed_error)
+              << "), PSNR " << TableReporter::num(err.psnr, 4) << " dB\n";
+  };
+
+  report("coarse (eb 1e-3) ", reader.request_error_bound(
+                                  1e-3 * (reader.header().data_max -
+                                          reader.header().data_min)));
+  report("medium (12 bits) ", reader.request_bitrate(12.0));
+  report("full             ", reader.request_full());
+
+  std::cout << "\nEvery refinement reused the planes already in memory and\n"
+               "decompressed in a single pass (paper Algorithms 1 & 2).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "analysis/image.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace ipcomp {
+
+namespace {
+
+struct SliceView {
+  const double* data;
+  std::size_t ny, nx;
+};
+
+SliceView slice_of(NdConstView<double> field, std::size_t z_index) {
+  if (field.dims().rank() != 3) {
+    throw std::invalid_argument("slice rendering requires 3-D fields");
+  }
+  const auto& d = field.dims();
+  if (z_index >= d[0]) throw std::out_of_range("slice index out of range");
+  return {field.data() + z_index * d[1] * d[2], d[1], d[2]};
+}
+
+double normalize(double v, double lo, double hi) {
+  if (hi <= lo) return 0.5;
+  return std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+}
+
+void write_binary(const std::string& path, const char* magic, std::size_t nx,
+                  std::size_t ny, const std::vector<std::uint8_t>& pixels) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("cannot open image file: " + path);
+  std::fprintf(f, "%s\n%zu %zu\n255\n", magic, nx, ny);
+  std::fwrite(pixels.data(), 1, pixels.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+void write_slice_pgm(const std::string& path, NdConstView<double> field,
+                     std::size_t z_index, double lo, double hi) {
+  SliceView s = slice_of(field, z_index);
+  std::vector<std::uint8_t> px(s.ny * s.nx);
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    px[i] = static_cast<std::uint8_t>(255.0 * normalize(s.data[i], lo, hi));
+  }
+  write_binary(path, "P5", s.nx, s.ny, px);
+}
+
+void write_slice_ppm(const std::string& path, NdConstView<double> field,
+                     std::size_t z_index, double lo, double hi) {
+  SliceView s = slice_of(field, z_index);
+  std::vector<std::uint8_t> px(3 * s.ny * s.nx);
+  for (std::size_t i = 0; i < s.ny * s.nx; ++i) {
+    const double t = normalize(s.data[i], lo, hi);
+    // Diverging blue -> white -> red.
+    double r, g, b;
+    if (t < 0.5) {
+      const double u = t * 2.0;
+      r = u;
+      g = u;
+      b = 1.0;
+    } else {
+      const double u = (t - 0.5) * 2.0;
+      r = 1.0;
+      g = 1.0 - u;
+      b = 1.0 - u;
+    }
+    px[3 * i + 0] = static_cast<std::uint8_t>(255.0 * r);
+    px[3 * i + 1] = static_cast<std::uint8_t>(255.0 * g);
+    px[3 * i + 2] = static_cast<std::uint8_t>(255.0 * b);
+  }
+  write_binary(path, "P6", s.nx, s.ny, px);
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,23 @@
+// Slice rendering for the visual-quality experiment (paper Fig. 11).
+//
+// Writes a z-slice of a 3-D field as a binary PGM (grayscale) or PPM with a
+// blue-white-red diverging colormap, normalized over a caller-supplied value
+// range so slices from different retrieval fidelities are directly comparable.
+#pragma once
+
+#include <string>
+
+#include "util/ndarray.hpp"
+
+namespace ipcomp {
+
+/// Write slice z = `z_index` of a 3-D field to a PGM file.  Values are
+/// normalized to [lo, hi] (pass the full-fidelity min/max for comparability).
+void write_slice_pgm(const std::string& path, NdConstView<double> field,
+                     std::size_t z_index, double lo, double hi);
+
+/// Same, as a PPM with a diverging colormap centered on (lo+hi)/2.
+void write_slice_ppm(const std::string& path, NdConstView<double> field,
+                     std::size_t z_index, double lo, double hi);
+
+}  // namespace ipcomp

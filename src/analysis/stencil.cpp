@@ -1,0 +1,119 @@
+#include "analysis/stencil.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace ipcomp {
+
+namespace {
+
+void check_3d(const Dims& dims) {
+  if (dims.rank() != 3) {
+    throw std::invalid_argument("analysis stencils require 3-D fields");
+  }
+}
+
+/// d/dx_dim with central differences, one-sided at the boundary.
+inline double diff_at(const double* f, const Dims& dims,
+                      const std::array<std::size_t, kMaxRank>& strides,
+                      std::size_t idx, std::size_t coord, unsigned dim) {
+  const std::size_t n = dims[dim];
+  const std::size_t s = strides[dim];
+  if (coord == 0) return f[idx + s] - f[idx];
+  if (coord == n - 1) return f[idx] - f[idx - s];
+  return 0.5 * (f[idx + s] - f[idx - s]);
+}
+
+}  // namespace
+
+NdArray<double> gradient(NdConstView<double> f, unsigned dim) {
+  check_3d(f.dims());
+  const Dims& dims = f.dims();
+  const auto strides = dims.strides();
+  NdArray<double> out(dims);
+  const std::size_t ny = dims[1], nx = dims[2];
+  parallel_for(0, dims[0], [&](std::size_t iz) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const std::size_t idx = iz * strides[0] + iy * strides[1] + ix;
+        const std::size_t coord = dim == 0 ? iz : dim == 1 ? iy : ix;
+        out[idx] = diff_at(f.data(), dims, strides, idx, coord, dim);
+      }
+    }
+  }, /*grain=*/1);
+  return out;
+}
+
+NdArray<double> laplacian(NdConstView<double> f) {
+  check_3d(f.dims());
+  const Dims& dims = f.dims();
+  const auto strides = dims.strides();
+  NdArray<double> out(dims);
+  const std::size_t ny = dims[1], nx = dims[2];
+  parallel_for(0, dims[0], [&](std::size_t iz) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const std::size_t idx = iz * strides[0] + iy * strides[1] + ix;
+        double acc = 0.0;
+        const std::size_t coords[3] = {iz, iy, ix};
+        for (unsigned d = 0; d < 3; ++d) {
+          const std::size_t n = dims[d];
+          const std::size_t s = strides[d];
+          const std::size_t c = coords[d];
+          // Second difference; replicate the boundary sample outside.
+          const double center = f[idx];
+          const double lo = c > 0 ? f[idx - s] : center;
+          const double hi = c + 1 < n ? f[idx + s] : center;
+          acc += lo - 2.0 * center + hi;
+        }
+        out[idx] = acc;
+      }
+    }
+  }, /*grain=*/1);
+  return out;
+}
+
+NdArray<double> curl_magnitude(NdConstView<double> vx, NdConstView<double> vy,
+                               NdConstView<double> vz) {
+  check_3d(vx.dims());
+  if (vx.dims() != vy.dims() || vx.dims() != vz.dims()) {
+    throw std::invalid_argument("curl: component dims mismatch");
+  }
+  // curl = (dVz/dy - dVy/dz, dVx/dz - dVz/dx, dVy/dx - dVx/dy)
+  auto dvz_dy = gradient(vz, 1);
+  auto dvy_dz = gradient(vy, 0);
+  auto dvx_dz = gradient(vx, 0);
+  auto dvz_dx = gradient(vz, 2);
+  auto dvy_dx = gradient(vy, 2);
+  auto dvx_dy = gradient(vx, 1);
+  NdArray<double> out(vx.dims());
+  parallel_for(0, out.count(), [&](std::size_t i) {
+    const double cx = dvz_dy[i] - dvy_dz[i];
+    const double cy = dvx_dz[i] - dvz_dx[i];
+    const double cz = dvy_dx[i] - dvx_dy[i];
+    out[i] = std::sqrt(cx * cx + cy * cy + cz * cz);
+  }, /*grain=*/1 << 14);
+  return out;
+}
+
+double nrmse(NdConstView<double> reference, NdConstView<double> candidate) {
+  if (reference.count() != candidate.count()) {
+    throw std::invalid_argument("nrmse: size mismatch");
+  }
+  double lo = reference[0], hi = reference[0];
+  double sq = 0.0;
+  for (std::size_t i = 0; i < reference.count(); ++i) {
+    const double r = reference[i];
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+    const double e = r - candidate[i];
+    sq += e * e;
+  }
+  const double range = hi - lo;
+  if (range <= 0.0) return 0.0;
+  return std::sqrt(sq / static_cast<double>(reference.count())) / range;
+}
+
+}  // namespace ipcomp

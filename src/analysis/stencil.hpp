@@ -1,0 +1,35 @@
+// Post-analysis derived quantities (paper §6.2.5, Fig. 11): curl magnitude of
+// a velocity field and the Laplacian of a scalar field, via second-order
+// central differences (one-sided at boundaries).
+//
+// Derivative operators amplify high-frequency compression error — the
+// Laplacian (a second derivative) more than the curl (first derivatives) —
+// which is exactly why different analyses tolerate different retrieval
+// fidelity.
+#pragma once
+
+#include <vector>
+
+#include "util/dims.hpp"
+#include "util/ndarray.hpp"
+
+namespace ipcomp {
+
+/// Central-difference partial derivative of a 3-D field along `dim`
+/// (grid spacing 1).
+NdArray<double> gradient(NdConstView<double> f, unsigned dim);
+
+/// Laplacian of a 3-D scalar field: Σ_d ∂²f/∂x_d².
+NdArray<double> laplacian(NdConstView<double> f);
+
+/// |∇ × V| of a 3-D vector field.  Axis convention: dims are (z, y, x) with
+/// x fastest-varying, so `vx` is the component along dims[2], `vy` along
+/// dims[1] and `vz` along dims[0].
+NdArray<double> curl_magnitude(NdConstView<double> vx, NdConstView<double> vy,
+                               NdConstView<double> vz);
+
+/// Normalized root-mean-square deviation between a reference analysis output
+/// and one computed from decompressed data (0 = identical).
+double nrmse(NdConstView<double> reference, NdConstView<double> candidate);
+
+}  // namespace ipcomp

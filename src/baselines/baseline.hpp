@@ -1,0 +1,52 @@
+// Common interface for the baseline compressors of the evaluation (§6.1.3).
+//
+// All baselines speak absolute error bounds and produce self-describing
+// archives.  Progressive baselines additionally expose the two retrieval
+// modes of the paper and report the data volume actually loaded plus the
+// number of decompression passes a retrieval required (residual-based
+// methods execute one pass per loaded stage — their structural drawback).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/bytes.hpp"
+#include "util/ndarray.hpp"
+
+namespace ipcomp {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compress with an absolute error bound.
+  virtual Bytes compress(NdConstView<double> data, double eb_abs) = 0;
+
+  /// Full-fidelity decompression (error <= the compression bound).
+  virtual std::vector<double> decompress(const Bytes& archive) = 0;
+};
+
+struct Retrieval {
+  std::vector<double> data;
+  /// Bytes that had to be loaded to satisfy the request.
+  std::size_t bytes_loaded = 0;
+  /// Decompression passes executed (1 for single-pass designs).
+  int passes = 0;
+  /// The error bound the retrieval guarantees (if the method provides one).
+  double guaranteed_error = 0.0;
+};
+
+class ProgressiveCompressor : public Compressor {
+ public:
+  /// Retrieve with L∞ error <= target (target >= the compression bound).
+  virtual Retrieval retrieve_error(const Bytes& archive, double target) = 0;
+
+  /// Retrieve within a byte budget, minimizing error.
+  virtual Retrieval retrieve_bytes(const Bytes& archive, std::uint64_t budget) = 0;
+};
+
+}  // namespace ipcomp

@@ -1,0 +1,87 @@
+#include "baselines/ipcomp_adapter.hpp"
+
+#include <stdexcept>
+
+#include "baselines/multi_fidelity.hpp"
+#include "baselines/residual.hpp"
+#include "baselines/sz3.hpp"
+#include "core/compressor.hpp"
+#include "core/progressive_reader.hpp"
+#include "mgard/mgard.hpp"
+#include "transform/zfp.hpp"
+#include "wavelet/sperr.hpp"
+
+namespace ipcomp {
+
+Bytes IpcompAdapter::compress(NdConstView<double> data, double eb_abs) {
+  Options opt = opt_;
+  opt.error_bound = eb_abs;
+  return ipcomp::compress(data, opt);
+}
+
+std::vector<double> IpcompAdapter::decompress(const Bytes& archive) {
+  MemorySource src{Bytes(archive)};
+  ProgressiveReader<double> reader(src, cfg_);
+  reader.request_full();
+  return reader.data();
+}
+
+Retrieval IpcompAdapter::retrieve_error(const Bytes& archive, double target) {
+  MemorySource src{Bytes(archive)};
+  ProgressiveReader<double> reader(src, cfg_);
+  auto st = reader.request_error_bound(target);
+  Retrieval out;
+  out.data = reader.data();
+  out.bytes_loaded = st.bytes_total;
+  out.passes = 1;
+  out.guaranteed_error = st.guaranteed_error;
+  return out;
+}
+
+Retrieval IpcompAdapter::retrieve_bytes(const Bytes& archive, std::uint64_t budget) {
+  MemorySource src{Bytes(archive)};
+  ProgressiveReader<double> reader(src, cfg_);
+  auto st = reader.request_bytes(budget);
+  Retrieval out;
+  out.data = reader.data();
+  out.bytes_loaded = st.bytes_total;
+  out.passes = 1;
+  out.guaranteed_error = st.guaranteed_error;
+  return out;
+}
+
+std::vector<std::shared_ptr<ProgressiveCompressor>> evaluation_lineup() {
+  auto sz3 = std::make_shared<Sz3Compressor>();
+  auto zfp = std::make_shared<ZfpCompressor>();
+  return {
+      std::make_shared<IpcompAdapter>(),
+      std::make_shared<MultiFidelityCompressor>(sz3, "SZ3-M"),
+      std::make_shared<ResidualCompressor>(sz3, "SZ3-R"),
+      std::make_shared<ResidualCompressor>(zfp, "ZFP-R"),
+      std::make_shared<PmgardCompressor>(),
+  };
+}
+
+std::vector<std::shared_ptr<ProgressiveCompressor>> speed_lineup() {
+  auto lineup = evaluation_lineup();
+  lineup.push_back(std::make_shared<ResidualCompressor>(
+      std::make_shared<SperrCompressor>(), "SPERR-R"));
+  return lineup;
+}
+
+std::shared_ptr<ProgressiveCompressor> make_residual(const std::string& base,
+                                                     int stages) {
+  std::shared_ptr<Compressor> codec;
+  if (base == "SZ3") {
+    codec = std::make_shared<Sz3Compressor>();
+  } else if (base == "ZFP") {
+    codec = std::make_shared<ZfpCompressor>();
+  } else if (base == "SPERR") {
+    codec = std::make_shared<SperrCompressor>();
+  } else {
+    throw std::invalid_argument("make_residual: unknown base " + base);
+  }
+  return std::make_shared<ResidualCompressor>(codec, base + "-R", stages);
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,43 @@
+// IPComp behind the common baseline interface, plus the compressor registry
+// used by every bench harness (the line-up of §6.1.3).
+#pragma once
+
+#include <memory>
+
+#include "baselines/baseline.hpp"
+#include "core/options.hpp"
+#include "core/progressive_reader.hpp"
+#include "loader/error_model.hpp"
+
+namespace ipcomp {
+
+class IpcompAdapter final : public ProgressiveCompressor {
+ public:
+  explicit IpcompAdapter(Options opt = {}, ReaderConfig cfg = {})
+      : opt_(opt), cfg_(cfg) {
+    opt_.relative = false;  // the adapter interface speaks absolute bounds
+  }
+
+  std::string name() const override { return "IPComp"; }
+  Bytes compress(NdConstView<double> data, double eb_abs) override;
+  std::vector<double> decompress(const Bytes& archive) override;
+  Retrieval retrieve_error(const Bytes& archive, double target) override;
+  Retrieval retrieve_bytes(const Bytes& archive, std::uint64_t budget) override;
+
+ private:
+  Options opt_;
+  ReaderConfig cfg_;
+};
+
+/// All progressive compressors of the paper's evaluation:
+/// IPComp, SZ3-M, SZ3-R, ZFP-R, PMGARD.
+std::vector<std::shared_ptr<ProgressiveCompressor>> evaluation_lineup();
+
+/// The same plus SPERR-R (which Fig. 8 adds for the speed study).
+std::vector<std::shared_ptr<ProgressiveCompressor>> speed_lineup();
+
+/// Residual compressor factory (for the Fig. 9 residual-count sweep).
+std::shared_ptr<ProgressiveCompressor> make_residual(const std::string& base,
+                                                     int stages);
+
+}  // namespace ipcomp

@@ -1,0 +1,84 @@
+#include "baselines/multi_fidelity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipcomp {
+
+Bytes MultiFidelityCompressor::compress(NdConstView<double> data, double eb_abs) {
+  ByteWriter w;
+  w.varint(static_cast<std::uint64_t>(stages_));
+  std::vector<Bytes> payloads;
+  payloads.reserve(stages_);
+  for (int k = 0; k < stages_; ++k) {
+    const double bound = eb_abs * std::pow(factor_, stages_ - 1 - k);
+    Bytes stage = base_->compress(data, bound);
+    w.f64(bound);
+    w.varint(stage.size());
+    payloads.push_back(std::move(stage));
+  }
+  for (auto& p : payloads) w.bytes(p);
+  return w.take();
+}
+
+MultiFidelityCompressor::Parsed MultiFidelityCompressor::parse(
+    const Bytes& archive) const {
+  ByteReader r({archive.data(), archive.size()});
+  Parsed p;
+  std::size_t n = r.varint();
+  p.stages.resize(n);
+  for (auto& s : p.stages) {
+    s.bound = r.f64();
+    s.size = r.varint();
+  }
+  std::size_t offset = r.position();
+  p.header_bytes = offset;
+  for (auto& s : p.stages) {
+    s.offset = offset;
+    offset += s.size;
+  }
+  if (offset != archive.size()) throw std::runtime_error("sz3m: truncated archive");
+  return p;
+}
+
+Retrieval MultiFidelityCompressor::load_stage(const Bytes& archive,
+                                              const Parsed& p,
+                                              std::size_t k) const {
+  const Stage& s = p.stages[k];
+  Bytes payload(archive.begin() + s.offset, archive.begin() + s.offset + s.size);
+  Retrieval out;
+  out.data = base_->decompress(payload);
+  out.bytes_loaded = p.header_bytes + s.size;
+  out.passes = 1;
+  out.guaranteed_error = s.bound;
+  return out;
+}
+
+std::vector<double> MultiFidelityCompressor::decompress(const Bytes& archive) {
+  Parsed p = parse(archive);
+  return load_stage(archive, p, p.stages.size() - 1).data;
+}
+
+Retrieval MultiFidelityCompressor::retrieve_error(const Bytes& archive,
+                                                  double target) {
+  Parsed p = parse(archive);
+  // Stages are ordered loosest -> tightest; pick the loosest satisfying one.
+  for (std::size_t k = 0; k < p.stages.size(); ++k) {
+    if (p.stages[k].bound <= target) return load_stage(archive, p, k);
+  }
+  return load_stage(archive, p, p.stages.size() - 1);  // best effort
+}
+
+Retrieval MultiFidelityCompressor::retrieve_bytes(const Bytes& archive,
+                                                  std::uint64_t budget) {
+  Parsed p = parse(archive);
+  // Pick the most precise stage fitting the budget.
+  std::size_t chosen = p.stages.size();  // sentinel: none fits
+  for (std::size_t k = 0; k < p.stages.size(); ++k) {
+    if (p.header_bytes + p.stages[k].size <= budget) chosen = k;
+  }
+  if (chosen == p.stages.size()) chosen = 0;  // best effort: cheapest stage
+  return load_stage(archive, p, chosen);
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,50 @@
+// SZ3-M baseline (paper §6.1.3): multi-fidelity via independent outputs.
+//
+// The input is compressed at a ladder of error bounds and all outputs are
+// stored together.  Retrieval picks the single cheapest output satisfying the
+// request — one decompression pass, but no reuse between fidelities, so the
+// total archive is huge (its Fig. 5 weakness) while per-retrieval volume and
+// speed are competitive (its Fig. 8 strength).
+#pragma once
+
+#include <memory>
+
+#include "baselines/baseline.hpp"
+
+namespace ipcomp {
+
+class MultiFidelityCompressor final : public ProgressiveCompressor {
+ public:
+  /// Stage bounds are eb · factor^(stages-1-k); the paper's ladder is nine
+  /// bounds spaced 4x apart (2^16·eb down to eb).
+  MultiFidelityCompressor(std::shared_ptr<Compressor> base, std::string name,
+                          int stages = 9, double factor = 4.0)
+      : base_(std::move(base)), name_(std::move(name)), stages_(stages),
+        factor_(factor) {}
+
+  std::string name() const override { return name_; }
+  Bytes compress(NdConstView<double> data, double eb_abs) override;
+  std::vector<double> decompress(const Bytes& archive) override;
+  Retrieval retrieve_error(const Bytes& archive, double target) override;
+  Retrieval retrieve_bytes(const Bytes& archive, std::uint64_t budget) override;
+
+ private:
+  struct Stage {
+    double bound;
+    std::size_t offset;
+    std::size_t size;
+  };
+  struct Parsed {
+    std::vector<Stage> stages;
+    std::size_t header_bytes;
+  };
+  Parsed parse(const Bytes& archive) const;
+  Retrieval load_stage(const Bytes& archive, const Parsed& p, std::size_t k) const;
+
+  std::shared_ptr<Compressor> base_;
+  std::string name_;
+  int stages_;
+  double factor_;
+};
+
+}  // namespace ipcomp

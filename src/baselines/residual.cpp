@@ -1,0 +1,121 @@
+#include "baselines/residual.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace ipcomp {
+
+Bytes ResidualCompressor::compress(NdConstView<double> data, double eb_abs) {
+  const Dims dims = data.dims();
+  const std::size_t n = dims.count();
+
+  std::vector<double> residual(data.span().begin(), data.span().end());
+  std::vector<Bytes> payloads;
+  std::vector<double> bounds;
+  payloads.reserve(stages_);
+  for (int k = 0; k < stages_; ++k) {
+    const double bound = eb_abs * std::pow(factor_, stages_ - 1 - k);
+    bounds.push_back(bound);
+    Bytes stage = base_->compress(NdConstView<double>(residual.data(), dims), bound);
+    // Subtract this stage's reconstruction to form the next residual
+    // (the last stage's residual is never needed).
+    if (k + 1 < stages_) {
+      std::vector<double> recon = base_->decompress(stage);
+      parallel_for(0, n, [&](std::size_t i) { residual[i] -= recon[i]; },
+                   /*grain=*/1 << 15);
+    }
+    payloads.push_back(std::move(stage));
+  }
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t i = 0; i < dims.rank(); ++i) w.varint(dims[i]);
+  w.varint(payloads.size());
+  for (std::size_t k = 0; k < payloads.size(); ++k) {
+    w.f64(bounds[k]);
+    w.varint(payloads[k].size());
+  }
+  for (auto& p : payloads) w.bytes(p);
+  return w.take();
+}
+
+ResidualCompressor::Parsed ResidualCompressor::parse(const Bytes& archive) const {
+  ByteReader r({archive.data(), archive.size()});
+  Parsed p;
+  std::size_t rank = r.u8();
+  std::size_t extents[kMaxRank];
+  for (std::size_t i = 0; i < rank; ++i) extents[i] = r.varint();
+  p.dims = Dims::of_rank(rank, extents);
+  std::size_t count = r.varint();
+  p.stages.resize(count);
+  for (auto& s : p.stages) {
+    s.bound = r.f64();
+    s.size = r.varint();
+  }
+  std::size_t offset = r.position();
+  p.header_bytes = offset;
+  for (auto& s : p.stages) {
+    s.offset = offset;
+    offset += s.size;
+  }
+  if (offset != archive.size()) throw std::runtime_error("residual: truncated");
+  return p;
+}
+
+Retrieval ResidualCompressor::accumulate(const Bytes& archive, const Parsed& p,
+                                         std::size_t last) const {
+  Retrieval out;
+  out.data.assign(p.dims.count(), 0.0);
+  out.bytes_loaded = p.header_bytes;
+  out.passes = 0;
+  for (std::size_t k = 0; k <= last; ++k) {
+    const Stage& s = p.stages[k];
+    Bytes payload(archive.begin() + s.offset, archive.begin() + s.offset + s.size);
+    std::vector<double> recon = base_->decompress(payload);
+    parallel_for(0, out.data.size(),
+                 [&](std::size_t i) { out.data[i] += recon[i]; },
+                 /*grain=*/1 << 15);
+    out.bytes_loaded += s.size;
+    ++out.passes;
+  }
+  out.guaranteed_error = p.stages[last].bound;
+  return out;
+}
+
+std::vector<double> ResidualCompressor::decompress(const Bytes& archive) {
+  Parsed p = parse(archive);
+  return accumulate(archive, p, p.stages.size() - 1).data;
+}
+
+Retrieval ResidualCompressor::retrieve_error(const Bytes& archive, double target) {
+  Parsed p = parse(archive);
+  for (std::size_t k = 0; k < p.stages.size(); ++k) {
+    if (p.stages[k].bound <= target) return accumulate(archive, p, k);
+  }
+  return accumulate(archive, p, p.stages.size() - 1);  // best effort
+}
+
+Retrieval ResidualCompressor::retrieve_bytes(const Bytes& archive,
+                                             std::uint64_t budget) {
+  Parsed p = parse(archive);
+  // Load the longest prefix of stages that fits (the paper's "largest
+  // residual anchor within the bitrate constraint").
+  std::size_t cum = p.header_bytes;
+  std::size_t last = 0;
+  bool any = false;
+  for (std::size_t k = 0; k < p.stages.size(); ++k) {
+    cum += p.stages[k].size;
+    if (cum <= budget) {
+      last = k;
+      any = true;
+    } else {
+      break;
+    }
+  }
+  if (!any) last = 0;  // best effort: the coarsest stage alone
+  return accumulate(archive, p, last);
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,35 @@
+// SZ3 baseline: the leading non-progressive interpolation compressor
+// (paper §6.1.3; Zhao et al., ICDE'21).
+//
+// Shares IPComp's interpolation predictor and in-loop quantizer, but encodes
+// the quantization codes the SZ3 way: linear-scale codes offset into a
+// bounded symbol alphabet, Huffman coded, then passed through the LZ77 stage
+// (SZ3 uses zstd there).  No progressive capability — this is the fidelity
+// and speed reference for single-fidelity retrieval, and the stage codec for
+// the SZ3-M / SZ3-R baselines.
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "interp/interpolation.hpp"
+
+namespace ipcomp {
+
+class Sz3Compressor final : public Compressor {
+ public:
+  explicit Sz3Compressor(InterpKind interp = InterpKind::kCubic,
+                         std::uint32_t radius = 1u << 15)
+      : interp_(interp), radius_(radius) {}
+
+  std::string name() const override { return "SZ3"; }
+  Bytes compress(NdConstView<double> data, double eb_abs) override;
+  std::vector<double> decompress(const Bytes& archive) override;
+
+  /// Dims recorded in an SZ3 archive (for harnesses).
+  static Dims archive_dims(const Bytes& archive);
+
+ private:
+  InterpKind interp_;
+  std::uint32_t radius_;
+};
+
+}  // namespace ipcomp

@@ -1,0 +1,115 @@
+#include "bitplane/bitplane.hpp"
+
+#include <algorithm>
+
+#include "bitplane/negabinary.hpp"
+#include "util/parallel.hpp"
+
+namespace ipcomp {
+
+PlaneBits extract_plane(std::span<const std::uint32_t> values, unsigned k) {
+  PlaneBits out(plane_bytes(values.size()), 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i >> 3] |= static_cast<std::uint8_t>(((values[i] >> k) & 1u) << (i & 7));
+  }
+  return out;
+}
+
+std::array<PlaneBits, kPlaneCount> extract_all_planes(
+    std::span<const std::uint32_t> values) {
+  std::array<PlaneBits, kPlaneCount> planes;
+  const std::size_t nbytes = plane_bytes(values.size());
+  for (auto& p : planes) p.assign(nbytes, 0);
+
+  // Process 8 values per output byte; parallel over byte positions.
+  parallel_for(0, nbytes, [&](std::size_t byte) {
+    const std::size_t base = byte * 8;
+    const std::size_t lim = std::min<std::size_t>(8, values.size() - base);
+    std::array<std::uint8_t, kPlaneCount> acc{};
+    for (std::size_t j = 0; j < lim; ++j) {
+      std::uint32_t v = values[base + j];
+      while (v) {
+        unsigned k = static_cast<unsigned>(__builtin_ctz(v));
+        acc[k] |= static_cast<std::uint8_t>(1u << j);
+        v &= v - 1;
+      }
+    }
+    for (unsigned k = 0; k < kPlaneCount; ++k) {
+      if (acc[k]) planes[k][byte] = acc[k];
+    }
+  }, /*grain=*/4096);
+  return planes;
+}
+
+void deposit_plane(std::span<std::uint32_t> values,
+                   std::span<const std::uint8_t> plane, unsigned k) {
+  parallel_for(0, plane.size(), [&](std::size_t byte) {
+    std::uint8_t bits = plane[byte];
+    if (!bits) return;
+    const std::size_t base = byte * 8;
+    while (bits) {
+      unsigned j = static_cast<unsigned>(__builtin_ctz(bits));
+      values[base + j] |= (std::uint32_t{1} << k);
+      bits = static_cast<std::uint8_t>(bits & (bits - 1));
+    }
+  }, /*grain=*/8192);
+}
+
+namespace {
+
+void accumulate_loss(std::span<const std::uint32_t> values,
+                     std::array<std::int64_t, kPlaneCount + 1>& table) {
+  // loss_v(d) = |decode(low d bits of v)| is piecewise constant in d: it only
+  // changes at d = k+1 for set bits k, so walk each value's set bits and
+  // range-update the table over (k, next_set_bit].  Note loss_v(d) is NOT
+  // monotone in d (a higher negabinary bit can cancel lower ones), which is
+  // why the table is exact per depth instead of a running maximum.
+  for (std::uint32_t v : values) {
+    if (v == 0) continue;
+    std::int64_t acc = 0;
+    std::uint32_t bits = v;
+    unsigned k = static_cast<unsigned>(__builtin_ctz(bits));
+    while (true) {
+      bits &= bits - 1;
+      // (-2)^k = 2^k with sign by parity of k.
+      std::int64_t w = std::int64_t{1} << k;
+      acc += (k & 1u) ? -w : w;
+      std::int64_t mag = acc < 0 ? -acc : acc;
+      unsigned next = bits ? static_cast<unsigned>(__builtin_ctz(bits)) : kPlaneCount;
+      for (unsigned d = k + 1; d <= next; ++d) {
+        if (mag > table[d]) table[d] = mag;
+      }
+      if (!bits) break;
+      k = next;
+    }
+  }
+}
+
+}  // namespace
+
+std::array<std::int64_t, kPlaneCount + 1> truncation_loss_table(
+    std::span<const std::uint32_t> values) {
+  // Per-chunk partial tables merged by max (the per-depth maximum commutes
+  // with partitioning the value set).
+  constexpr std::size_t kChunk = 1 << 16;
+  const std::size_t n_chunks = (values.size() + kChunk - 1) / kChunk;
+  if (n_chunks <= 1) {
+    std::array<std::int64_t, kPlaneCount + 1> table{};
+    accumulate_loss(values, table);
+    return table;
+  }
+  std::vector<std::array<std::int64_t, kPlaneCount + 1>> partial(
+      n_chunks, std::array<std::int64_t, kPlaneCount + 1>{});
+  parallel_for(0, n_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kChunk;
+    const std::size_t len = std::min(kChunk, values.size() - begin);
+    accumulate_loss(values.subspan(begin, len), partial[c]);
+  }, /*grain=*/1);
+  std::array<std::int64_t, kPlaneCount + 1> table{};
+  for (const auto& p : partial) {
+    for (unsigned d = 0; d <= kPlaneCount; ++d) table[d] = std::max(table[d], p[d]);
+  }
+  return table;
+}
+
+}  // namespace ipcomp

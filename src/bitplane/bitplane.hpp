@@ -1,0 +1,43 @@
+// Bitplane extraction, reassembly and truncation-loss accounting.
+//
+// A level's quantized (negabinary) integers are viewed as 32 bitplanes; plane
+// k collects bit k of every integer (paper Fig. 4).  Planes are packed MSB
+// (k = 31) first into independent byte buffers so the archive can store and
+// serve each plane as its own segment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/bytes.hpp"
+
+namespace ipcomp {
+
+inline constexpr unsigned kPlaneCount = 32;
+
+/// Packed bits of one plane: bit i of integer j lives at byte j/8, bit j%8.
+using PlaneBits = Bytes;
+
+/// Number of bytes needed to hold `n` bits.
+inline std::size_t plane_bytes(std::size_t n) { return (n + 7) / 8; }
+
+/// Extract plane `k` (0 = LSB ... 31 = MSB) from `values`.
+PlaneBits extract_plane(std::span<const std::uint32_t> values, unsigned k);
+
+/// Extract all 32 planes at once (single pass over the values).
+std::array<PlaneBits, kPlaneCount> extract_all_planes(
+    std::span<const std::uint32_t> values);
+
+/// OR plane `k` back into `values` (values' bit k must currently be zero).
+void deposit_plane(std::span<std::uint32_t> values,
+                   std::span<const std::uint8_t> plane, unsigned k);
+
+/// Exact truncation-loss table: entry d is max_i |Σ_{k<d} b_k(-2)^k| over all
+/// values, i.e. the worst value lost by dropping the d lowest planes
+/// (in quantization-step units).  entry 0 is 0; entries run to 32.
+std::array<std::int64_t, kPlaneCount + 1> truncation_loss_table(
+    std::span<const std::uint32_t> values);
+
+}  // namespace ipcomp

@@ -1,0 +1,51 @@
+#include "bitplane/predictive.hpp"
+
+#include <stdexcept>
+
+#include "bitplane/bitplane.hpp"
+#include "util/parallel.hpp"
+
+namespace ipcomp {
+
+void predictive_transform(std::span<const std::uint8_t> plane_k,
+                          std::span<const std::uint8_t>* prefix_planes,
+                          unsigned prefix_count,
+                          std::span<std::uint8_t> out) {
+  if (out.size() != plane_k.size()) {
+    throw std::invalid_argument("predictive_transform: size mismatch");
+  }
+  parallel_for(0, plane_k.size(), [&](std::size_t i) {
+    std::uint8_t pred = 0;
+    for (unsigned p = 0; p < prefix_count; ++p) {
+      pred ^= prefix_planes[p][i];
+    }
+    out[i] = plane_k[i] ^ pred;
+  }, /*grain=*/1 << 16);
+}
+
+Bytes predictive_encode_plane(std::span<const std::uint32_t> values,
+                              std::span<const std::uint8_t> plane_k,
+                              unsigned k, unsigned prefix_bits) {
+  Bytes out(plane_k.size(), 0);
+  // Prediction = XOR of bits k+1 .. k+prefix of each value (planes above the
+  // MSB are zero).  Work directly on the integers to avoid materializing the
+  // prefix planes.
+  parallel_for(0, plane_k.size(), [&](std::size_t byte) {
+    const std::size_t base = byte * 8;
+    const std::size_t lim = std::min<std::size_t>(8, values.size() - base);
+    std::uint8_t pred = 0;
+    for (std::size_t j = 0; j < lim; ++j) {
+      std::uint32_t v = values[base + j];
+      std::uint32_t x = 0;
+      for (unsigned p = 1; p <= prefix_bits; ++p) {
+        unsigned bit = k + p;
+        if (bit < 32) x ^= (v >> bit) & 1u;
+      }
+      pred |= static_cast<std::uint8_t>(x << j);
+    }
+    out[byte] = plane_k[byte] ^ pred;
+  }, /*grain=*/1 << 14);
+  return out;
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,40 @@
+// Predictive bitplane coding (paper §4.4.1).
+//
+// Bitplanes of the same integer are correlated; because retrieval always
+// loads planes MSB-first, the bits of higher planes are known when a plane is
+// decoded.  Each bit is therefore predicted as the XOR of its `prefix_bits`
+// preceding (higher-order) bits and the *prediction residual* is stored:
+//   encoded_bit = (b_{k+1} ^ ... ^ b_{k+prefix}) ^ b_k
+// The transform is an involution given the prefix planes, so decoding applies
+// the same XOR.  The paper measures 2 prefix bits as the sweet spot
+// (Table 2); that is the default everywhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "io/bytes.hpp"
+
+namespace ipcomp {
+
+inline constexpr unsigned kDefaultPrefixBits = 2;
+
+/// XOR-combine the `prefix_bits` planes above plane `k` into a prediction
+/// mask for plane `k`.  `plane(j)` must return the packed bits of plane j for
+/// j in (k, k+prefix]; planes above 31 are all zero.
+///
+/// encode: out = plane_k ^ prediction;  decode: plane_k = out ^ prediction.
+/// Both are this same function applied to packed buffers.
+void predictive_transform(std::span<const std::uint8_t> plane_k,
+                          std::span<const std::uint8_t>* prefix_planes,
+                          unsigned prefix_count,
+                          std::span<std::uint8_t> out);
+
+/// Convenience: transform plane `k` of `values` (packed) using the higher
+/// planes taken directly from `values`.  Used on the encode side where all
+/// planes exist as integers.
+Bytes predictive_encode_plane(std::span<const std::uint32_t> values,
+                              std::span<const std::uint8_t> plane_k,
+                              unsigned k, unsigned prefix_bits);
+
+}  // namespace ipcomp

@@ -1,0 +1,62 @@
+#include "coding/codec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "coding/lzh.hpp"
+#include "coding/rle.hpp"
+
+namespace ipcomp {
+
+Bytes codec_compress(std::span<const std::uint8_t> input, bool try_lzh) {
+  const bool all_zero = std::all_of(input.begin(), input.end(),
+                                    [](std::uint8_t b) { return b == 0; });
+  if (all_zero) {
+    return {static_cast<std::uint8_t>(CodecMethod::kEmpty)};
+  }
+
+  Bytes best = rle_encode(input);
+  CodecMethod method = CodecMethod::kRle;
+
+  if (try_lzh && input.size() >= 64) {
+    Bytes lz = lzh_compress(input);
+    if (lz.size() < best.size()) {
+      best = std::move(lz);
+      method = CodecMethod::kLzh;
+    }
+  }
+
+  if (input.size() < best.size()) {
+    best.assign(input.begin(), input.end());
+    method = CodecMethod::kRaw;
+  }
+
+  Bytes out;
+  out.reserve(best.size() + 1);
+  out.push_back(static_cast<std::uint8_t>(method));
+  out.insert(out.end(), best.begin(), best.end());
+  return out;
+}
+
+Bytes codec_decompress(std::span<const std::uint8_t> input, std::size_t output_size) {
+  if (input.empty()) throw std::runtime_error("codec: empty input");
+  auto method = static_cast<CodecMethod>(input[0]);
+  auto payload = input.subspan(1);
+  switch (method) {
+    case CodecMethod::kEmpty:
+      return Bytes(output_size, 0);
+    case CodecMethod::kRaw:
+      if (payload.size() != output_size) throw std::runtime_error("codec: raw size mismatch");
+      return Bytes(payload.begin(), payload.end());
+    case CodecMethod::kRle:
+      return rle_decode(payload, output_size);
+    case CodecMethod::kLzh: {
+      Bytes out = lzh_decompress(payload);
+      if (out.size() != output_size) throw std::runtime_error("codec: lzh size mismatch");
+      return out;
+    }
+  }
+  throw std::runtime_error("codec: unknown method");
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,29 @@
+// Per-segment codec selection.
+//
+// Every archive segment is independently compressed with the cheapest of a
+// small family of methods; a one-byte tag records the choice.  The caller
+// always knows the decoded size (plane sizes are derivable from the header),
+// so methods need not embed it.
+#pragma once
+
+#include <span>
+
+#include "io/bytes.hpp"
+
+namespace ipcomp {
+
+enum class CodecMethod : std::uint8_t {
+  kEmpty = 0,  // all zero bytes: payload is empty
+  kRaw = 1,    // stored verbatim
+  kRle = 2,    // zero-run RLE
+  kLzh = 3,    // LZ77 + Huffman
+};
+
+/// Compress with whichever method yields the smallest output.
+/// Set `try_lzh = false` for tiny inputs where LZ77 setup cost dominates.
+Bytes codec_compress(std::span<const std::uint8_t> input, bool try_lzh = true);
+
+/// Inverse of codec_compress; `output_size` is the decoded byte count.
+Bytes codec_decompress(std::span<const std::uint8_t> input, std::size_t output_size);
+
+}  // namespace ipcomp

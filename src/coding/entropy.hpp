@@ -1,0 +1,52 @@
+// Shannon entropy estimators (Table 2 of the paper).
+//
+// The paper reports the bit-level entropy of bitplane streams before and
+// after predictive XOR coding; these helpers compute exactly that.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace ipcomp {
+
+/// Entropy of a Bernoulli(p) source in bits per bit.
+inline double binary_entropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+/// Bit-level entropy of a packed bit stream of `bit_count` bits.
+inline double bit_entropy(std::span<const std::uint8_t> packed,
+                          std::size_t bit_count) {
+  if (bit_count == 0) return 0.0;
+  std::size_t ones = 0;
+  std::size_t full = bit_count / 8;
+  for (std::size_t i = 0; i < full; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcount(packed[i]));
+  }
+  std::size_t rem = bit_count % 8;
+  if (rem) {
+    std::uint8_t tail = packed[full] & static_cast<std::uint8_t>((1u << rem) - 1u);
+    ones += static_cast<std::size_t>(__builtin_popcount(tail));
+  }
+  return binary_entropy(static_cast<double>(ones) / static_cast<double>(bit_count));
+}
+
+/// Byte-level entropy in bits per byte.
+inline double byte_entropy(std::span<const std::uint8_t> data) {
+  if (data.empty()) return 0.0;
+  std::uint64_t hist[256] = {};
+  for (auto b : data) ++hist[b];
+  double h = 0.0;
+  const double n = static_cast<double>(data.size());
+  for (auto c : hist) {
+    if (c) {
+      double p = static_cast<double>(c) / n;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+}  // namespace ipcomp

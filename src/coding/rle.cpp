@@ -1,0 +1,41 @@
+#include "coding/rle.hpp"
+
+#include <stdexcept>
+
+namespace ipcomp {
+
+Bytes rle_encode(std::span<const std::uint8_t> input) {
+  ByteWriter w(input.size() / 4 + 16);
+  std::size_t pos = 0;
+  const std::size_t n = input.size();
+  while (pos < n) {
+    std::size_t run = 0;
+    while (pos + run < n && input[pos + run] == 0) ++run;
+    w.varint(run);
+    pos += run;
+    if (pos < n) {
+      w.u8(input[pos]);
+      ++pos;
+    }
+  }
+  return w.take();
+}
+
+Bytes rle_decode(std::span<const std::uint8_t> input, std::size_t output_size) {
+  Bytes out;
+  out.reserve(output_size);
+  ByteReader r(input);
+  while (out.size() < output_size) {
+    std::size_t run = r.varint();
+    if (out.size() + run > output_size) {
+      throw std::runtime_error("rle: run overflows output");
+    }
+    out.insert(out.end(), run, 0);
+    if (out.size() < output_size) {
+      out.push_back(r.u8());
+    }
+  }
+  return out;
+}
+
+}  // namespace ipcomp

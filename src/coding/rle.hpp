@@ -1,0 +1,22 @@
+// Zero-run run-length coding for sparse byte streams.
+//
+// Bitplane payloads are zero-dominated once the predictive XOR stage has run;
+// a simple (zero-run, literal) alternation beats generic LZ on very sparse
+// planes and costs almost nothing to decode.  Stream grammar:
+//   repeat { varint zero_run ; literal byte }  with a final trailing zero_run.
+#pragma once
+
+#include <span>
+
+#include "io/bytes.hpp"
+
+namespace ipcomp {
+
+/// Encode `input`; output does not record the input length (the caller keeps
+/// it, as all codec callers in this repo know their plane sizes).
+Bytes rle_encode(std::span<const std::uint8_t> input);
+
+/// Decode exactly `output_size` bytes.
+Bytes rle_decode(std::span<const std::uint8_t> input, std::size_t output_size);
+
+}  // namespace ipcomp

@@ -1,0 +1,197 @@
+#include "core/compressor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+#include <stdexcept>
+
+#include "bitplane/bitplane.hpp"
+#include "bitplane/negabinary.hpp"
+#include "bitplane/predictive.hpp"
+#include "coding/codec.hpp"
+#include "core/header.hpp"
+#include "interp/sweep.hpp"
+#include "io/archive.hpp"
+#include "quant/quantizer.hpp"
+#include "util/parallel.hpp"
+
+namespace ipcomp {
+
+namespace {
+
+struct LevelScratch {
+  std::vector<std::uint32_t> codes;                        // negabinary
+  std::vector<std::pair<std::uint64_t, double>> outliers;  // slot -> raw value
+};
+
+template <typename T>
+std::pair<double, double> min_max(NdConstView<T> v) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < v.count(); ++i) {
+    double x = static_cast<double>(v[i]);
+    if (std::isfinite(x)) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 0.0;
+  }
+  return {lo, hi};
+}
+
+Bytes serialize_base_segment(const LevelScratch& ls, bool progressive, bool try_lzh) {
+  ByteWriter w;
+  w.varint(ls.outliers.size());
+  std::uint64_t prev = 0;
+  for (auto [slot, value] : ls.outliers) {
+    w.varint(slot - prev);
+    w.f64(value);
+    prev = slot;
+  }
+  if (!progressive) {
+    // Solid level: store the whole code array through the codec.
+    Bytes raw(ls.codes.size() * 4);
+    for (std::size_t i = 0; i < ls.codes.size(); ++i) {
+      std::uint32_t c = ls.codes[i];
+      raw[4 * i + 0] = static_cast<std::uint8_t>(c);
+      raw[4 * i + 1] = static_cast<std::uint8_t>(c >> 8);
+      raw[4 * i + 2] = static_cast<std::uint8_t>(c >> 16);
+      raw[4 * i + 3] = static_cast<std::uint8_t>(c >> 24);
+    }
+    Bytes packed = codec_compress({raw.data(), raw.size()}, try_lzh);
+    w.varint(packed.size());
+    w.bytes(packed);
+  }
+  return w.take();
+}
+
+}  // namespace
+
+template <typename T>
+double resolve_error_bound(NdConstView<T> input, const Options& opt) {
+  if (opt.error_bound <= 0.0) {
+    throw std::invalid_argument("ipcomp: error bound must be positive");
+  }
+  if (!opt.relative) return opt.error_bound;
+  auto [lo, hi] = min_max(input);
+  double range = hi - lo;
+  if (range <= 0.0) range = 1.0;  // constant field: any positive bound works
+  return opt.error_bound * range;
+}
+
+template <typename T>
+Bytes compress(NdConstView<T> input, const Options& opt) {
+  const Dims dims = input.dims();
+  const LevelStructure ls = LevelStructure::analyze(dims);
+  const unsigned L = ls.num_levels;
+
+  auto [lo, hi] = min_max(input);
+  double range = hi - lo;
+  const double eb = opt.relative
+                        ? opt.error_bound * (range > 0.0 ? range : 1.0)
+                        : opt.error_bound;
+  if (opt.error_bound <= 0.0) {
+    throw std::invalid_argument("ipcomp: error bound must be positive");
+  }
+  const LinearQuantizer quant(eb);
+
+  std::vector<LevelScratch> levels(L);
+  for (unsigned li = 0; li < L; ++li) {
+    levels[li].codes.assign(ls.level_count[li], 0);
+  }
+
+  // In-loop quantization: the working buffer holds reconstructed values so
+  // predictions see exactly what decompression will see.
+  std::vector<T> xhat(input.span().begin(), input.span().end());
+  const T* original = input.data();
+  std::mutex outlier_mutex;
+
+  interpolation_sweep(xhat.data(), ls, opt.interp,
+                      [&](unsigned li, std::size_t slot, std::size_t idx, T pred) -> T {
+                        std::int64_t code;
+                        T recon;
+                        if (quant.quantize(original[idx], pred, code, recon)) {
+                          levels[li].codes[slot] = negabinary_encode(code);
+                          return recon;
+                        }
+                        {
+                          std::lock_guard<std::mutex> lock(outlier_mutex);
+                          levels[li].outliers.emplace_back(
+                              slot, static_cast<double>(original[idx]));
+                        }
+                        return original[idx];
+                      });
+
+  Header header;
+  header.dtype = data_type_of<T>();
+  header.dims = dims;
+  header.eb = eb;
+  header.interp = opt.interp;
+  header.prefix_bits = opt.prefix_bits;
+  header.data_min = lo;
+  header.data_max = hi;
+  header.levels.resize(L);
+
+  ArchiveBuilder builder;
+
+  for (unsigned li = 0; li < L; ++li) {
+    LevelScratch& scratch = levels[li];
+    std::sort(scratch.outliers.begin(), scratch.outliers.end());
+    LevelHeader& lh = header.levels[li];
+    lh.count = scratch.codes.size();
+    lh.outlier_count = scratch.outliers.size();
+    lh.progressive = scratch.codes.size() >= opt.progressive_threshold;
+
+    const std::uint16_t level_tag = static_cast<std::uint16_t>(li + 1);
+    if (!lh.progressive) {
+      lh.n_planes = 0;
+      lh.loss.assign(1, 0);
+      builder.add_segment({kSegBase, level_tag, 0},
+                          serialize_base_segment(scratch, false, opt.try_lzh));
+      continue;
+    }
+
+    std::uint32_t all = 0;
+    for (std::uint32_t c : scratch.codes) all |= c;
+    const unsigned n_planes = all == 0 ? 0 : 32 - std::countl_zero(all);
+    lh.n_planes = n_planes;
+
+    auto loss = truncation_loss_table(scratch.codes);
+    lh.loss.resize(n_planes + 1);
+    for (unsigned d = 0; d <= n_planes; ++d) {
+      lh.loss[d] = static_cast<std::uint64_t>(loss[d]);
+    }
+
+    builder.add_segment({kSegBase, level_tag, 0},
+                        serialize_base_segment(scratch, true, opt.try_lzh));
+
+    if (n_planes > 0) {
+      auto planes = extract_all_planes(scratch.codes);
+      std::vector<Bytes> packed(n_planes);
+      parallel_for(0, n_planes, [&](std::size_t k) {
+        Bytes encoded = opt.prefix_bits == 0
+                            ? planes[k]
+                            : predictive_encode_plane(scratch.codes, planes[k],
+                                                      static_cast<unsigned>(k),
+                                                      opt.prefix_bits);
+        packed[k] = codec_compress({encoded.data(), encoded.size()}, opt.try_lzh);
+      }, /*grain=*/1);
+      for (unsigned k = 0; k < n_planes; ++k) {
+        builder.add_segment({kSegPlane, level_tag, k}, std::move(packed[k]));
+      }
+    }
+  }
+
+  builder.set_header(header.serialize());
+  return builder.finish();
+}
+
+template Bytes compress<float>(NdConstView<float>, const Options&);
+template Bytes compress<double>(NdConstView<double>, const Options&);
+template double resolve_error_bound<float>(NdConstView<float>, const Options&);
+template double resolve_error_bound<double>(NdConstView<double>, const Options&);
+
+}  // namespace ipcomp

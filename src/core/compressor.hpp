@@ -1,0 +1,23 @@
+// IPComp compression pipeline (paper §4).
+//
+// original → interpolation predictor (in-loop quantization, per-level
+// negabinary codes + outliers) → per-level bitplane split → predictive XOR
+// coding → per-plane codec → segmented archive.
+#pragma once
+
+#include "core/options.hpp"
+#include "io/bytes.hpp"
+#include "util/ndarray.hpp"
+
+namespace ipcomp {
+
+/// Compress a field into a serialized progressive archive.
+template <typename T>
+Bytes compress(NdConstView<T> input, const Options& opt = {});
+
+/// The absolute error bound compression would use for this input/options
+/// (resolves relative bounds against the data range).
+template <typename T>
+double resolve_error_bound(NdConstView<T> input, const Options& opt);
+
+}  // namespace ipcomp

@@ -1,0 +1,59 @@
+#include "core/header.hpp"
+
+#include <stdexcept>
+
+namespace ipcomp {
+
+Bytes Header::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(dtype));
+  w.u8(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t i = 0; i < dims.rank(); ++i) w.varint(dims[i]);
+  w.f64(eb);
+  w.u8(static_cast<std::uint8_t>(interp));
+  w.u8(static_cast<std::uint8_t>(prefix_bits));
+  w.f64(data_min);
+  w.f64(data_max);
+  w.varint(levels.size());
+  for (const LevelHeader& l : levels) {
+    w.varint(l.count);
+    w.u8(l.progressive ? 1 : 0);
+    w.varint(l.n_planes);
+    if (l.loss.size() != l.n_planes + 1) {
+      throw std::logic_error("header: loss table size mismatch");
+    }
+    for (auto v : l.loss) w.varint(v);
+    w.varint(l.outlier_count);
+  }
+  return w.take();
+}
+
+Header Header::parse(const Bytes& raw) {
+  ByteReader r({raw.data(), raw.size()});
+  Header h;
+  h.dtype = static_cast<DataType>(r.u8());
+  std::size_t rank = r.u8();
+  std::size_t extents[kMaxRank];
+  if (rank == 0 || rank > kMaxRank) throw std::runtime_error("header: bad rank");
+  for (std::size_t i = 0; i < rank; ++i) extents[i] = r.varint();
+  h.dims = Dims::of_rank(rank, extents);
+  h.eb = r.f64();
+  h.interp = static_cast<InterpKind>(r.u8());
+  h.prefix_bits = r.u8();
+  h.data_min = r.f64();
+  h.data_max = r.f64();
+  std::size_t n_levels = r.varint();
+  h.levels.resize(n_levels);
+  for (LevelHeader& l : h.levels) {
+    l.count = r.varint();
+    l.progressive = r.u8() != 0;
+    l.n_planes = static_cast<std::uint32_t>(r.varint());
+    if (l.n_planes > 32) throw std::runtime_error("header: bad plane count");
+    l.loss.resize(l.n_planes + 1);
+    for (auto& v : l.loss) v = r.varint();
+    l.outlier_count = r.varint();
+  }
+  return h;
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,53 @@
+// IPComp archive header: everything the optimized data loader needs to plan a
+// retrieval without touching payload segments (paper §5: δy tables are
+// "pre-computed during compression").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/interpolation.hpp"
+#include "io/bytes.hpp"
+#include "util/dims.hpp"
+
+namespace ipcomp {
+
+enum class DataType : std::uint8_t { kFloat32 = 0, kFloat64 = 1 };
+
+template <typename T>
+constexpr DataType data_type_of();
+template <>
+constexpr DataType data_type_of<float>() { return DataType::kFloat32; }
+template <>
+constexpr DataType data_type_of<double>() { return DataType::kFloat64; }
+
+/// Archive segment kinds (SegmentId::kind).
+inline constexpr std::uint16_t kSegBase = 0;   // outliers (+ codes if solid)
+inline constexpr std::uint16_t kSegPlane = 1;  // one bitplane of one level
+
+struct LevelHeader {
+  std::uint64_t count = 0;       // elements (slots) at this level
+  bool progressive = false;      // bitplaned vs stored whole
+  std::uint32_t n_planes = 0;    // stored planes: bits [0, n_planes)
+  /// truncation_loss_table entries 0..n_planes, in quantization-step units:
+  /// worst |value| lost by zeroing the d lowest planes.
+  std::vector<std::uint64_t> loss;
+  std::uint64_t outlier_count = 0;
+};
+
+struct Header {
+  DataType dtype = DataType::kFloat64;
+  Dims dims;
+  double eb = 0.0;  // absolute quantization error bound
+  InterpKind interp = InterpKind::kCubic;
+  std::uint32_t prefix_bits = 2;
+  double data_min = 0.0;
+  double data_max = 0.0;
+  /// Index 0 = finest level (level 1 in the paper's numbering).
+  std::vector<LevelHeader> levels;
+
+  Bytes serialize() const;
+  static Header parse(const Bytes& raw);
+};
+
+}  // namespace ipcomp

@@ -1,0 +1,32 @@
+// User-facing compression options.
+#pragma once
+
+#include <cstddef>
+
+#include "interp/interpolation.hpp"
+
+namespace ipcomp {
+
+struct Options {
+  /// Quantization error bound.  When `relative` is true this is multiplied by
+  /// the data range (max − min) at compression time, matching the paper's
+  /// "eb = 1e-9 × Range(dataset)" convention.
+  double error_bound = 1e-6;
+  bool relative = true;
+
+  InterpKind interp = InterpKind::kCubic;
+
+  /// Prefix width of the predictive bitplane coder (paper Table 2: 2 is the
+  /// sweet spot).  0 disables prediction (raw bitplanes).
+  unsigned prefix_bits = 2;
+
+  /// Levels with fewer elements than this are stored whole (not bitplaned):
+  /// their segments are tiny and always loaded — the paper's L_p cutoff.
+  std::size_t progressive_threshold = 4096;
+
+  /// Allow the LZ77 stage when choosing per-plane codecs (RLE-only is faster
+  /// to compress, LZH usually smaller).
+  bool try_lzh = true;
+};
+
+}  // namespace ipcomp

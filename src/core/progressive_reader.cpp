@@ -1,0 +1,284 @@
+#include "core/progressive_reader.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bitplane/bitplane.hpp"
+#include "bitplane/negabinary.hpp"
+#include "bitplane/predictive.hpp"
+#include "coding/codec.hpp"
+#include "quant/quantizer.hpp"
+#include "util/parallel.hpp"
+
+namespace ipcomp {
+
+namespace {
+
+bool bitmap_test(const Bytes& bm, std::size_t i) {
+  return (bm[i >> 3] >> (i & 7)) & 1u;
+}
+
+void bitmap_set(Bytes& bm, std::size_t i) {
+  bm[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+}
+
+}  // namespace
+
+template <typename T>
+ProgressiveReader<T>::ProgressiveReader(SegmentSource& src, ReaderConfig cfg)
+    : src_(src), cfg_(cfg) {
+  const std::size_t at_open = src_.bytes_read();
+  header_ = Header::parse(src_.header());
+  unattributed_open_cost_ = src_.bytes_read() - at_open;
+  if (header_.dtype != data_type_of<T>()) {
+    throw std::runtime_error("ProgressiveReader: archive value type mismatch");
+  }
+  ls_ = LevelStructure::analyze(header_.dims);
+  if (ls_.num_levels != header_.levels.size()) {
+    throw std::runtime_error("ProgressiveReader: level count mismatch");
+  }
+  for (unsigned li = 0; li < ls_.num_levels; ++li) {
+    if (ls_.level_count[li] != header_.levels[li].count) {
+      throw std::runtime_error("ProgressiveReader: level size mismatch");
+    }
+  }
+  const unsigned L = ls_.num_levels;
+  codes_.resize(L);
+  planes_used_.assign(L, 0);
+  outlier_bitmap_.resize(L);
+  outlier_value_.resize(L);
+}
+
+template <typename T>
+void ProgressiveReader<T>::ensure_base_loaded() {
+  if (base_loaded_) return;
+  for (unsigned li = 0; li < ls_.num_levels; ++li) {
+    const LevelHeader& lh = header_.levels[li];
+    codes_[li].assign(lh.count, 0);
+    Bytes seg = src_.read_segment({kSegBase, static_cast<std::uint16_t>(li + 1), 0});
+    ByteReader r({seg.data(), seg.size()});
+    std::size_t n_out = r.varint();
+    if (n_out != lh.outlier_count) {
+      throw std::runtime_error("reader: outlier count mismatch");
+    }
+    if (n_out > 0) {
+      outlier_bitmap_[li].assign(plane_bytes(lh.count), 0);
+      std::size_t slot = 0;
+      for (std::size_t i = 0; i < n_out; ++i) {
+        slot += r.varint();
+        double value = r.f64();
+        bitmap_set(outlier_bitmap_[li], slot);
+        outlier_value_[li][slot] = value;
+      }
+    }
+    if (!lh.progressive) {
+      std::size_t packed_size = r.varint();
+      auto packed = r.bytes(packed_size);
+      Bytes raw = codec_decompress(packed, lh.count * 4);
+      for (std::size_t i = 0; i < lh.count; ++i) {
+        codes_[li][i] = static_cast<std::uint32_t>(raw[4 * i]) |
+                        static_cast<std::uint32_t>(raw[4 * i + 1]) << 8 |
+                        static_cast<std::uint32_t>(raw[4 * i + 2]) << 16 |
+                        static_cast<std::uint32_t>(raw[4 * i + 3]) << 24;
+      }
+    }
+  }
+  base_loaded_ = true;
+}
+
+template <typename T>
+std::vector<LevelPlanInput> ProgressiveReader<T>::planner_inputs() const {
+  const unsigned rank = static_cast<unsigned>(header_.dims.rank());
+  const double step = 2.0 * header_.eb;
+  std::vector<LevelPlanInput> inputs(ls_.num_levels);
+  for (unsigned li = 0; li < ls_.num_levels; ++li) {
+    const LevelHeader& lh = header_.levels[li];
+    LevelPlanInput& in = inputs[li];
+    if (!lh.progressive || lh.n_planes == 0) {
+      in.err.assign(1, 0.0);
+      in.already_loaded = 0;
+      continue;
+    }
+    const double amp =
+        level_amplification(cfg_.error_model, header_.interp, rank, li + 1);
+    in.plane_size.resize(lh.n_planes);
+    for (unsigned k = 0; k < lh.n_planes; ++k) {
+      in.plane_size[k] =
+          src_.segment_size({kSegPlane, static_cast<std::uint16_t>(li + 1), k});
+    }
+    in.err.resize(lh.n_planes + 1);
+    for (unsigned d = 0; d <= lh.n_planes; ++d) {
+      in.err[d] = amp * static_cast<double>(lh.loss[d]) * step;
+    }
+    in.already_loaded = planes_used_[li];
+  }
+  return inputs;
+}
+
+template <typename T>
+RetrievalStats ProgressiveReader<T>::apply_plan(const LoadPlan& plan,
+                                                std::size_t bytes_before) {
+  // bytes_before is snapshotted at request entry so the first request's
+  // bytes_new includes the mandatory base-segment cost; the construction-time
+  // header read is attributed here too, exactly once.
+  const std::size_t before = bytes_before - unattributed_open_cost_;
+  unattributed_open_cost_ = 0;
+  const unsigned L = ls_.num_levels;
+
+  // Fetch and decode the newly requested planes, top (MSB) first so the
+  // predictive XOR prefix bits are always resident before a plane decodes.
+  std::vector<std::vector<std::uint32_t>> delta;
+  bool any_new = false;
+  if (have_recon_) delta.resize(L);
+  for (unsigned li = 0; li < L; ++li) {
+    const LevelHeader& lh = header_.levels[li];
+    if (!lh.progressive || lh.n_planes == 0) continue;
+    unsigned target = std::max(plan.planes_to_use[li], planes_used_[li]);
+    if (target <= planes_used_[li]) continue;
+    any_new = true;
+    if (have_recon_ && delta[li].empty()) delta[li].assign(lh.count, 0);
+    // Planes are indexed by absolute bit position: using `u` planes from the
+    // top means planes [n_planes - u, n_planes).
+    for (unsigned used = planes_used_[li] + 1; used <= target; ++used) {
+      const unsigned k = lh.n_planes - used;
+      Bytes seg =
+          src_.read_segment({kSegPlane, static_cast<std::uint16_t>(li + 1), k});
+      Bytes encoded = codec_decompress({seg.data(), seg.size()},
+                                       plane_bytes(lh.count));
+      Bytes plane = header_.prefix_bits == 0
+                        ? std::move(encoded)
+                        : predictive_encode_plane(codes_[li], encoded, k,
+                                                  header_.prefix_bits);
+      deposit_plane(codes_[li], plane, k);
+      if (have_recon_) deposit_plane(delta[li], plane, k);
+    }
+    planes_used_[li] = target;
+  }
+
+  if (!have_recon_) {
+    reconstruct_full();
+    have_recon_ = true;
+  } else if (any_new) {
+    reconstruct_delta(delta);
+  }
+
+  RetrievalStats st;
+  st.guaranteed_error = current_guaranteed_error();
+  st.bytes_total = src_.bytes_read();
+  st.bytes_new = st.bytes_total - before;
+  st.bitrate = 8.0 * static_cast<double>(st.bytes_total) /
+               static_cast<double>(ls_.dims.count());
+  return st;
+}
+
+template <typename T>
+double ProgressiveReader<T>::current_guaranteed_error() const {
+  const unsigned rank = static_cast<unsigned>(header_.dims.rank());
+  const double step = 2.0 * header_.eb;
+  double err = header_.eb;
+  for (unsigned li = 0; li < ls_.num_levels; ++li) {
+    const LevelHeader& lh = header_.levels[li];
+    if (!lh.progressive || lh.n_planes == 0) continue;
+    const unsigned d = lh.n_planes - planes_used_[li];
+    const double amp =
+        level_amplification(cfg_.error_model, header_.interp, rank, li + 1);
+    err += amp * static_cast<double>(lh.loss[d]) * step;
+  }
+  return err;
+}
+
+template <typename T>
+bool ProgressiveReader<T>::is_outlier(unsigned li, std::size_t slot,
+                                      double& value) const {
+  if (outlier_bitmap_[li].empty() || !bitmap_test(outlier_bitmap_[li], slot)) {
+    return false;
+  }
+  value = outlier_value_[li].at(slot);
+  return true;
+}
+
+template <typename T>
+void ProgressiveReader<T>::reconstruct_full() {
+  const LinearQuantizer quant(header_.eb);
+  xhat_.assign(ls_.dims.count(), T{});
+  interpolation_sweep(
+      xhat_.data(), ls_, header_.interp,
+      [&](unsigned li, std::size_t slot, std::size_t /*idx*/, T pred) -> T {
+        double raw;
+        if (is_outlier(li, slot, raw)) return static_cast<T>(raw);
+        return quant.dequantize(pred, negabinary_decode(codes_[li][slot]));
+      });
+}
+
+template <typename T>
+void ProgressiveReader<T>::reconstruct_delta(
+    const std::vector<std::vector<std::uint32_t>>& delta) {
+  const double step = 2.0 * header_.eb;
+  // The delta field is always swept in double so incremental refinement of
+  // float archives loses at most one rounding at the final addition.
+  std::vector<double> dfield(ls_.dims.count(), 0.0);
+  interpolation_sweep(
+      dfield.data(), ls_, header_.interp,
+      [&](unsigned li, std::size_t slot, std::size_t /*idx*/, double pred) -> double {
+        double raw;
+        if (is_outlier(li, slot, raw)) return 0.0;  // outliers are always exact
+        if (delta[li].empty()) {
+          return pred;  // no new bits at this level
+        }
+        const double dy =
+            static_cast<double>(negabinary_decode(delta[li][slot])) * step;
+        return pred + dy;
+      });
+  parallel_for(0, xhat_.size(), [&](std::size_t i) {
+    xhat_[i] = static_cast<T>(static_cast<double>(xhat_[i]) + dfield[i]);
+  }, /*grain=*/1 << 15);
+}
+
+template <typename T>
+RetrievalStats ProgressiveReader<T>::request_error_bound(double target) {
+  const std::size_t before = src_.bytes_read();
+  ensure_base_loaded();
+  const double budget = target - header_.eb;
+  auto plan = plan_error_bound(planner_inputs(), budget, cfg_.planner);
+  return apply_plan(plan, before);
+}
+
+template <typename T>
+RetrievalStats ProgressiveReader<T>::request_bytes(std::uint64_t budget_bytes) {
+  const std::size_t before = src_.bytes_read();
+  ensure_base_loaded();
+  const std::size_t mandatory = src_.bytes_read() - before;
+  const std::uint64_t remaining =
+      budget_bytes > mandatory ? budget_bytes - mandatory : 0;
+  auto plan = plan_byte_budget(planner_inputs(), remaining, cfg_.planner);
+  return apply_plan(plan, before);
+}
+
+template <typename T>
+RetrievalStats ProgressiveReader<T>::request_bitrate(double bits_per_value) {
+  const double total_budget =
+      bits_per_value * static_cast<double>(ls_.dims.count()) / 8.0;
+  const double already = static_cast<double>(src_.bytes_read());
+  std::uint64_t budget =
+      total_budget > already
+          ? static_cast<std::uint64_t>(total_budget - already)
+          : 0;
+  return request_bytes(budget);
+}
+
+template <typename T>
+RetrievalStats ProgressiveReader<T>::request_full() {
+  const std::size_t before = src_.bytes_read();
+  ensure_base_loaded();
+  LoadPlan plan;
+  plan.planes_to_use.resize(ls_.num_levels);
+  for (unsigned li = 0; li < ls_.num_levels; ++li) {
+    plan.planes_to_use[li] = header_.levels[li].n_planes;
+  }
+  return apply_plan(plan, before);
+}
+
+template class ProgressiveReader<float>;
+template class ProgressiveReader<double>;
+
+}  // namespace ipcomp

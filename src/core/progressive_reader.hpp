@@ -1,0 +1,101 @@
+// Progressive retrieval (paper Algorithms 1 & 2 + §5 data loading).
+//
+// A ProgressiveReader owns the retrieval state for one archive: which planes
+// of which levels are resident, the partial negabinary codes, and the current
+// reconstruction.  Each request plans the minimum set of additional plane
+// segments (DP knapsack over the header's δy tables), fetches exactly those,
+// and reconstructs in a single interpolation sweep:
+//   * first request — full sweep from the partial codes (Algorithm 1);
+//   * refinements  — a sweep over the *newly added* code bits produces a
+//     delta field that is added onto the previous output (Algorithm 2).
+// The delta form is exact because the reconstruction map is linear in the
+// dequantized differences and negabinary decoding is linear over bit
+// positions (DESIGN.md §6.5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/header.hpp"
+#include "io/archive.hpp"
+#include "loader/error_model.hpp"
+#include "loader/optimizer.hpp"
+#include "interp/sweep.hpp"
+
+namespace ipcomp {
+
+struct ReaderConfig {
+  ErrorModel error_model = ErrorModel::kConservative;
+  PlannerKind planner = PlannerKind::kDynamicProgramming;
+};
+
+/// Outcome of one retrieval request.
+struct RetrievalStats {
+  /// eb + Σ amplified truncation loss under the current plane set: the L∞
+  /// error the reader guarantees for its current output.
+  double guaranteed_error = 0.0;
+  /// Bytes fetched by this request (segments + first-touch header cost).
+  std::size_t bytes_new = 0;
+  /// Cumulative bytes fetched from the source so far.
+  std::size_t bytes_total = 0;
+  /// Retrieved bits per value so far (bytes_total * 8 / n).
+  double bitrate = 0.0;
+};
+
+template <typename T>
+class ProgressiveReader {
+ public:
+  explicit ProgressiveReader(SegmentSource& src, ReaderConfig cfg = {});
+
+  /// Retrieve so the output's L∞ error is guaranteed <= target (must be
+  /// >= the compression eb; smaller targets retrieve everything).
+  RetrievalStats request_error_bound(double target);
+
+  /// Retrieve at most `budget_bytes` additional bytes, minimizing error.
+  RetrievalStats request_bytes(std::uint64_t budget_bytes);
+
+  /// Retrieve so the *cumulative* retrieved volume stays within
+  /// bits_per_value * n / 8 bytes (the paper's fixed-bitrate mode).
+  RetrievalStats request_bitrate(double bits_per_value);
+
+  /// Retrieve all remaining planes (full-fidelity output, error <= eb).
+  RetrievalStats request_full();
+
+  const std::vector<T>& data() const { return xhat_; }
+  const Header& header() const { return header_; }
+  std::size_t element_count() const { return ls_.dims.count(); }
+  std::size_t bytes_loaded() const { return src_.bytes_read(); }
+  double compression_eb() const { return header_.eb; }
+  double current_guaranteed_error() const;
+
+ private:
+  void ensure_base_loaded();
+  std::vector<LevelPlanInput> planner_inputs() const;
+  RetrievalStats apply_plan(const LoadPlan& plan, std::size_t bytes_before);
+  void reconstruct_full();
+  void reconstruct_delta(const std::vector<std::vector<std::uint32_t>>& delta);
+  bool is_outlier(unsigned li, std::size_t slot, double& value) const;
+
+  SegmentSource& src_;
+  ReaderConfig cfg_;
+  /// Header/index bytes charged at construction, attributed to the first
+  /// request so that bytes_new sums to bytes_total.
+  std::size_t unattributed_open_cost_ = 0;
+  Header header_;
+  LevelStructure ls_;
+  bool base_loaded_ = false;
+  bool have_recon_ = false;
+
+  std::vector<std::vector<std::uint32_t>> codes_;  // per level, partial
+  std::vector<unsigned> planes_used_;              // per level, from the top
+  std::vector<Bytes> outlier_bitmap_;              // per level (maybe empty)
+  std::vector<std::unordered_map<std::size_t, double>> outlier_value_;
+  std::vector<T> xhat_;
+};
+
+extern template class ProgressiveReader<float>;
+extern template class ProgressiveReader<double>;
+
+}  // namespace ipcomp

@@ -1,0 +1,309 @@
+#include "data/datasets.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "data/noise.hpp"
+#include "io/archive.hpp"
+#include "util/parallel.hpp"
+
+namespace ipcomp {
+
+const char* field_name(Field f) {
+  switch (f) {
+    case Field::kDensity: return "Density";
+    case Field::kPressure: return "Pressure";
+    case Field::kVelocityX: return "VelocityX";
+    case Field::kVelocityY: return "VelocityY";
+    case Field::kVelocityZ: return "VelocityZ";
+    case Field::kWave: return "Wave";
+    case Field::kSpeedX: return "SpeedX";
+    case Field::kCH4: return "CH4";
+  }
+  return "?";
+}
+
+DataScale scale_from_env() {
+  const char* v = std::getenv("IPCOMP_DATA_SCALE");
+  if (!v) return DataScale::kSmall;
+  std::string s(v);
+  if (s == "tiny") return DataScale::kTiny;
+  if (s == "full" || s == "paper") return DataScale::kPaper;
+  return DataScale::kSmall;
+}
+
+namespace {
+
+Dims dims_for(Field f, DataScale scale) {
+  switch (f) {
+    case Field::kDensity:
+    case Field::kPressure:
+    case Field::kVelocityX:
+    case Field::kVelocityY:
+    case Field::kVelocityZ:
+      // Miranda: 256 x 384 x 384
+      switch (scale) {
+        case DataScale::kTiny: return Dims{32, 48, 48};
+        case DataScale::kSmall: return Dims{64, 96, 96};
+        case DataScale::kPaper: return Dims{256, 384, 384};
+      }
+      break;
+    case Field::kWave:
+      // RTM: 1008 x 1008 x 352
+      switch (scale) {
+        case DataScale::kTiny: return Dims{63, 63, 22};
+        case DataScale::kSmall: return Dims{126, 126, 44};
+        case DataScale::kPaper: return Dims{1008, 1008, 352};
+      }
+      break;
+    case Field::kSpeedX:
+      // Hurricane: 100 x 500 x 500
+      switch (scale) {
+        case DataScale::kTiny: return Dims{25, 63, 63};
+        case DataScale::kSmall: return Dims{50, 125, 125};
+        case DataScale::kPaper: return Dims{100, 500, 500};
+      }
+      break;
+    case Field::kCH4:
+      // S3D: 500 x 500 x 500
+      switch (scale) {
+        case DataScale::kTiny: return Dims{50, 50, 50};
+        case DataScale::kSmall: return Dims{100, 100, 100};
+        case DataScale::kPaper: return Dims{500, 500, 500};
+      }
+      break;
+  }
+  throw std::logic_error("dims_for: unhandled field/scale");
+}
+
+const char* domain_of(Field f) {
+  switch (f) {
+    case Field::kDensity:
+    case Field::kPressure:
+    case Field::kVelocityX:
+    case Field::kVelocityY:
+    case Field::kVelocityZ:
+      return "turbulence";
+    case Field::kWave: return "seismic";
+    case Field::kSpeedX: return "weather";
+    case Field::kCH4: return "combustion";
+  }
+  return "?";
+}
+
+/// Evaluates one generator at normalized coordinates in [0,1)^3.
+template <typename Fn>
+NdArray<double> evaluate(const Dims& dims, Fn&& fn) {
+  if (dims.rank() != 3) throw std::invalid_argument("generators are 3-D");
+  NdArray<double> out(dims);
+  const std::size_t nz = dims[0], ny = dims[1], nx = dims[2];
+  parallel_for(0, nz, [&](std::size_t iz) {
+    const double z = static_cast<double>(iz) / static_cast<double>(nz);
+    std::size_t base = iz * ny * nx;
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      const double y = static_cast<double>(iy) / static_cast<double>(ny);
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const double x = static_cast<double>(ix) / static_cast<double>(nx);
+        out[base + iy * nx + ix] = fn(x, y, z);
+      }
+    }
+  }, /*grain=*/1);
+  return out;
+}
+
+// ------------------------------------------------------------- turbulence --
+
+// Rayleigh-Taylor-ish mixing layer: two fluids separated by a perturbed
+// interface, multi-scale turbulent structure inside the mixing zone.
+double turbulence_interface(double x, double y, std::uint64_t seed) {
+  return 0.5 + 0.08 * std::sin(6.2831853 * (2 * x + 0.5 * y)) +
+         0.06 * fbm3(4 * x, 4 * y, 0.37, seed, 4);
+}
+
+double density_at(double x, double y, double z) {
+  const std::uint64_t seed = 0xD05;
+  const double zi = turbulence_interface(x, y, seed);
+  const double mix = std::tanh((z - zi) / 0.08);
+  const double turb = fbm3(5 * x, 5 * y, 5 * z, seed + 1, 5, 0.55);
+  const double envelope = std::exp(-std::pow((z - zi) / 0.25, 2.0));
+  return 1.5 + 0.85 * mix + 0.35 * envelope * turb;
+}
+
+double pressure_at(double x, double y, double z) {
+  const std::uint64_t seed = 0x9E5;
+  // Hydrostatic-ish background plus smooth large-scale fluctuation.
+  const double background = 3.0 - 1.8 * z;
+  const double large = 0.5 * fbm3(2.5 * x, 2.5 * y, 2.5 * z, seed, 3, 0.55);
+  const double fine = 0.04 * fbm3(6 * x, 6 * y, 6 * z, seed + 7, 3, 0.55);
+  return background + large + fine;
+}
+
+double velocity_at(double x, double y, double z, int component) {
+  const std::uint64_t seed = 0xF10 + static_cast<std::uint64_t>(component) * 101;
+  const double zi = turbulence_interface(x, y, 0xD05);
+  const double envelope = std::exp(-std::pow((z - zi) / 0.3, 2.0));
+  const double shear = component == 0 ? 0.6 * std::tanh((z - zi) / 0.1) : 0.0;
+  const double turb = fbm3(4 * x, 4 * y, 4 * z, seed, 5, 0.6);
+  return shear + (0.25 + 0.9 * envelope) * turb;
+}
+
+// ---------------------------------------------------------------- seismic --
+
+// Expanding Ricker wavefronts from a few sources in a layered medium.
+double ricker(double t) {
+  const double a = t * t;
+  return (1.0 - 2.0 * a) * std::exp(-a);
+}
+
+double wave_at(double x, double y, double z) {
+  const std::uint64_t seed = 0x3A7E;
+  struct Source {
+    double sx, sy, sz, radius, amp, width;
+  };
+  static const Source sources[] = {
+      {0.30, 0.35, 0.20, 0.28, 1.00, 0.030},
+      {0.70, 0.60, 0.15, 0.22, 0.80, 0.025},
+      {0.50, 0.80, 0.40, 0.35, 0.60, 0.040},
+      {0.15, 0.70, 0.55, 0.18, 0.50, 0.022},
+  };
+  // Layered medium modulates local propagation speed (wavefront wrinkles).
+  const double layer = 1.0 + 0.15 * std::sin(18.0 * z) +
+                       0.05 * fbm3(3 * x, 3 * y, 5 * z, seed, 3);
+  double v = 0.0;
+  for (const Source& s : sources) {
+    const double dx = x - s.sx, dy = y - s.sy, dz = z - s.sz;
+    const double r = std::sqrt(dx * dx + dy * dy + dz * dz) * layer;
+    const double geom = 1.0 / (1.0 + 6.0 * r);  // spherical spreading decay
+    v += s.amp * geom * ricker((r - s.radius) / s.width);
+  }
+  // Weak coda / scattering noise.
+  v += 0.004 * fbm3(8 * x, 8 * y, 8 * z, seed + 5, 3, 0.5);
+  return v;
+}
+
+// ---------------------------------------------------------------- weather --
+
+// Zonal jet + embedded cyclonic vortices + orographic roughness.
+double speedx_at(double x, double y, double z) {
+  const std::uint64_t seed = 0x5EED;
+  // Jet profile in height (z) and latitude (y).
+  const double jet = 28.0 * std::exp(-std::pow((z - 0.65) / 0.22, 2.0)) *
+                     std::exp(-std::pow((y - 0.45) / 0.28, 2.0));
+  struct Vortex {
+    double cx, cy, strength, radius;
+  };
+  static const Vortex vortices[] = {
+      {0.30, 0.40, 14.0, 0.10},
+      {0.62, 0.55, -11.0, 0.08},
+      {0.80, 0.30, 8.0, 0.12},
+  };
+  double v = 4.0 + jet;
+  for (const Vortex& w : vortices) {
+    const double dx = x - w.cx, dy = y - w.cy;
+    const double r2 = (dx * dx + dy * dy) / (w.radius * w.radius);
+    // Tangential x-velocity of a Gaussian vortex.
+    v += -w.strength * dy / w.radius * std::exp(-r2);
+  }
+  v += 1.8 * (1.0 - 0.6 * z) * fbm3(5 * x, 5 * y, 8 * z, seed, 4, 0.55);
+  return v;
+}
+
+// ------------------------------------------------------------- combustion --
+
+// Lifted jet flame: CH4 mass fraction is ~0.06 in the unburnt core, decays
+// across a thin, wrinkled flame surface, ~0 elsewhere (S3D-like sparsity).
+double ch4_at(double x, double y, double z) {
+  const std::uint64_t seed = 0xC44;
+  const double dx = x - 0.5, dy = y - 0.5;
+  const double r = std::sqrt(dx * dx + dy * dy);
+  // Jet core radius grows with height and is wrinkled by turbulence.
+  const double core = 0.08 + 0.12 * z +
+                      0.035 * fbm3(5 * x, 5 * y, 3 * z, seed, 4, 0.62);
+  const double front = (r - core) / 0.02;        // thin flame surface
+  const double burn = 1.0 - std::exp(-6.0 * z);  // consumed downstream
+  double frac = 0.06 / (1.0 + std::exp(4.0 * front));
+  frac *= (1.0 - 0.85 * burn * (1.0 / (1.0 + std::exp(-4.0 * front + 2.0))));
+  // Trace background + in-core fluctuation.
+  frac += 2e-5 * (1.0 + fbm3(4 * x, 4 * y, 4 * z, seed + 3, 2));
+  return frac;
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> standard_datasets(DataScale scale) {
+  return {
+      dataset_spec(Field::kDensity, scale),   dataset_spec(Field::kPressure, scale),
+      dataset_spec(Field::kVelocityX, scale), dataset_spec(Field::kWave, scale),
+      dataset_spec(Field::kSpeedX, scale),    dataset_spec(Field::kCH4, scale),
+  };
+}
+
+DatasetSpec dataset_spec(Field f, DataScale scale) {
+  return DatasetSpec{f, field_name(f), domain_of(f), dims_for(f, scale)};
+}
+
+NdArray<double> generate_field(Field f, const Dims& dims) {
+  switch (f) {
+    case Field::kDensity:
+      return evaluate(dims, [](double x, double y, double z) { return density_at(x, y, z); });
+    case Field::kPressure:
+      return evaluate(dims, [](double x, double y, double z) { return pressure_at(x, y, z); });
+    case Field::kVelocityX:
+      return evaluate(dims, [](double x, double y, double z) { return velocity_at(x, y, z, 0); });
+    case Field::kVelocityY:
+      return evaluate(dims, [](double x, double y, double z) { return velocity_at(x, y, z, 1); });
+    case Field::kVelocityZ:
+      return evaluate(dims, [](double x, double y, double z) { return velocity_at(x, y, z, 2); });
+    case Field::kWave:
+      return evaluate(dims, [](double x, double y, double z) { return wave_at(x, y, z); });
+    case Field::kSpeedX:
+      return evaluate(dims, [](double x, double y, double z) { return speedx_at(x, y, z); });
+    case Field::kCH4:
+      return evaluate(dims, [](double x, double y, double z) { return ch4_at(x, y, z); });
+  }
+  throw std::invalid_argument("generate_field: unknown field");
+}
+
+const NdArray<double>& cached_field(Field f, DataScale scale) {
+  static std::map<std::pair<int, int>, NdArray<double>> cache;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto key = std::make_pair(static_cast<int>(f), static_cast<int>(scale));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, generate_field(f, dims_for(f, scale))).first;
+  }
+  return it->second;
+}
+
+NdArray<double> sdr_raw_read(const std::string& path, const Dims& dims,
+                             bool is_float32) {
+  Bytes raw = read_file(path);
+  const std::size_t n = dims.count();
+  const std::size_t want = n * (is_float32 ? 4 : 8);
+  if (raw.size() != want) {
+    throw std::runtime_error("sdr_raw_read: file size " + std::to_string(raw.size()) +
+                             " does not match dims (" + std::to_string(want) + ")");
+  }
+  NdArray<double> out(dims);
+  if (is_float32) {
+    for (std::size_t i = 0; i < n; ++i) {
+      float v;
+      std::memcpy(&v, raw.data() + 4 * i, 4);
+      out[i] = static_cast<double>(v);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      double v;
+      std::memcpy(&v, raw.data() + 8 * i, 8);
+      out[i] = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace ipcomp

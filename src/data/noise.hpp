@@ -1,0 +1,82 @@
+// Deterministic lattice value-noise with fractal octaves.
+//
+// The synthetic field generators need smooth, band-limited randomness that is
+// identical across runs and platforms.  Lattice values come from a SplitMix64
+// hash of the integer coordinates, interpolated with a C1 smoothstep; fBm
+// stacks octaves with a persistence chosen per field (≈0.6-0.7 mimics the
+// k^(-5/3)-ish spectra of the turbulence datasets).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ipcomp {
+
+namespace detail {
+
+inline std::uint64_t hash_u64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Lattice value in [-1, 1] for integer coordinates and a stream seed.
+inline double lattice_value(std::int64_t ix, std::int64_t iy, std::int64_t iz,
+                            std::uint64_t seed) {
+  std::uint64_t h = hash_u64(static_cast<std::uint64_t>(ix) * 0x8DA6B343u ^
+                             static_cast<std::uint64_t>(iy) * 0xD8163841u ^
+                             static_cast<std::uint64_t>(iz) * 0xCB1AB31Fu ^ seed);
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+inline double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace detail
+
+/// Trilinearly interpolated value noise, C1-smooth, range ≈ [-1, 1].
+inline double value_noise3(double x, double y, double z, std::uint64_t seed) {
+  const double fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const auto iz = static_cast<std::int64_t>(fz);
+  const double tx = detail::smoothstep(x - fx);
+  const double ty = detail::smoothstep(y - fy);
+  const double tz = detail::smoothstep(z - fz);
+  double c[2][2][2];
+  for (int dz = 0; dz < 2; ++dz) {
+    for (int dy = 0; dy < 2; ++dy) {
+      for (int dx = 0; dx < 2; ++dx) {
+        c[dz][dy][dx] = detail::lattice_value(ix + dx, iy + dy, iz + dz, seed);
+      }
+    }
+  }
+  auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+  double x00 = lerp(c[0][0][0], c[0][0][1], tx);
+  double x01 = lerp(c[0][1][0], c[0][1][1], tx);
+  double x10 = lerp(c[1][0][0], c[1][0][1], tx);
+  double x11 = lerp(c[1][1][0], c[1][1][1], tx);
+  double y0 = lerp(x00, x01, ty);
+  double y1 = lerp(x10, x11, ty);
+  return lerp(y0, y1, tz);
+}
+
+/// Fractal Brownian motion: `octaves` stacked noises, each at double the
+/// frequency and `gain` times the amplitude of the previous.
+inline double fbm3(double x, double y, double z, std::uint64_t seed,
+                   int octaves, double gain = 0.65, double lacunarity = 2.0) {
+  double sum = 0.0;
+  double amp = 1.0;
+  double freq = 1.0;
+  double norm = 0.0;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amp * value_noise3(x * freq, y * freq, z * freq,
+                              seed + static_cast<std::uint64_t>(o) * 0x51ED2701u);
+    norm += amp;
+    amp *= gain;
+    freq *= lacunarity;
+  }
+  return sum / norm;
+}
+
+}  // namespace ipcomp

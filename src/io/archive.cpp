@@ -1,0 +1,184 @@
+#include "io/archive.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ipcomp {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x41435049u;  // "IPCA" little-endian
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+Bytes ArchiveBuilder::finish() const {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.varint(header_.size());
+  w.bytes(header_);
+  w.varint(order_.size());
+  for (std::uint64_t key : order_) {
+    w.u64(key);
+    w.varint(segments_.at(key).size());
+  }
+  for (std::uint64_t key : order_) {
+    w.bytes(segments_.at(key));
+  }
+  return w.take();
+}
+
+ArchiveIndex ArchiveIndex::parse(std::span<const std::uint8_t> head_bytes,
+                                 std::size_t total_size) {
+  ByteReader r(head_bytes);
+  if (r.u32() != kMagic) throw std::runtime_error("archive: bad magic");
+  if (r.u32() != kVersion) throw std::runtime_error("archive: bad version");
+  ArchiveIndex idx;
+  idx.total_size = total_size;
+  idx.header_length = r.varint();
+  idx.header_offset = r.position();
+  // Skip over the header payload to reach the segment table.
+  r.bytes(idx.header_length);
+  std::size_t count = r.varint();
+  std::vector<std::pair<std::uint64_t, std::size_t>> lengths;
+  lengths.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t key = r.u64();
+    std::size_t len = r.varint();
+    lengths.emplace_back(key, len);
+  }
+  std::size_t offset = r.position();
+  for (auto [key, len] : lengths) {
+    idx.entries[key] = Entry{key, offset, len};
+    offset += len;
+  }
+  if (offset > total_size) throw std::runtime_error("archive: truncated");
+  return idx;
+}
+
+MemorySource::MemorySource(Bytes archive) : blob_(std::move(archive)) {
+  index_ = ArchiveIndex::parse({blob_.data(), blob_.size()}, blob_.size());
+}
+
+const Bytes& MemorySource::header() {
+  if (header_cache_.empty()) {
+    header_cache_.assign(blob_.begin() + index_.header_offset,
+                         blob_.begin() + index_.header_offset + index_.header_length);
+  }
+  if (!header_charged_) {
+    // Header + segment table are the fixed cost of opening the archive.
+    bytes_read_ += index_.header_offset + index_.header_length;
+    header_charged_ = true;
+  }
+  return header_cache_;
+}
+
+Bytes MemorySource::read_segment(SegmentId id) {
+  auto it = index_.entries.find(id.key());
+  if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
+  bytes_read_ += it->second.length;
+  return Bytes(blob_.begin() + it->second.offset,
+               blob_.begin() + it->second.offset + it->second.length);
+}
+
+bool MemorySource::has_segment(SegmentId id) const {
+  return index_.entries.contains(id.key());
+}
+
+std::size_t MemorySource::segment_size(SegmentId id) const {
+  auto it = index_.entries.find(id.key());
+  if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
+  return it->second.length;
+}
+
+namespace {
+
+class File {
+ public:
+  File(const std::string& path, const char* mode) : f_(std::fopen(path.c_str(), mode)) {
+    if (!f_) throw std::runtime_error("cannot open file: " + path);
+  }
+  ~File() {
+    if (f_) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() const { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+FileSource::FileSource(std::string path) : path_(std::move(path)) {
+  File f(path_, "rb");
+  std::fseek(f.get(), 0, SEEK_END);
+  file_size_ = static_cast<std::size_t>(std::ftell(f.get()));
+  // The index prefix (magic/version/header/table) precedes all payloads; read
+  // a bounded prefix large enough to hold it.  Headers carry per-plane size
+  // tables and stay in the tens of kilobytes.
+  std::size_t prefix = std::min<std::size_t>(file_size_, std::size_t{1} << 22);
+  std::fseek(f.get(), 0, SEEK_SET);
+  Bytes head(prefix);
+  if (std::fread(head.data(), 1, prefix, f.get()) != prefix) {
+    throw std::runtime_error("archive: short read of index prefix");
+  }
+  index_ = ArchiveIndex::parse({head.data(), head.size()}, file_size_);
+}
+
+const Bytes& FileSource::header() {
+  if (!header_loaded_) {
+    header_cache_ = read_range(index_.header_offset, index_.header_length);
+    bytes_read_ += index_.header_offset + index_.header_length;
+    header_loaded_ = true;
+  }
+  return header_cache_;
+}
+
+Bytes FileSource::read_segment(SegmentId id) {
+  auto it = index_.entries.find(id.key());
+  if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
+  bytes_read_ += it->second.length;
+  return read_range(it->second.offset, it->second.length);
+}
+
+bool FileSource::has_segment(SegmentId id) const {
+  return index_.entries.contains(id.key());
+}
+
+std::size_t FileSource::segment_size(SegmentId id) const {
+  auto it = index_.entries.find(id.key());
+  if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
+  return it->second.length;
+}
+
+Bytes FileSource::read_range(std::size_t offset, std::size_t length) const {
+  File f(path_, "rb");
+  std::fseek(f.get(), static_cast<long>(offset), SEEK_SET);
+  Bytes out(length);
+  if (length > 0 && std::fread(out.data(), 1, length, f.get()) != length) {
+    throw std::runtime_error("archive: short segment read");
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const Bytes& data) {
+  File f(path, "wb");
+  if (!data.empty() && std::fwrite(data.data(), 1, data.size(), f.get()) != data.size()) {
+    throw std::runtime_error("cannot write file: " + path);
+  }
+}
+
+Bytes read_file(const std::string& path) {
+  File f(path, "rb");
+  std::fseek(f.get(), 0, SEEK_END);
+  std::size_t n = static_cast<std::size_t>(std::ftell(f.get()));
+  std::fseek(f.get(), 0, SEEK_SET);
+  Bytes out(n);
+  if (n > 0 && std::fread(out.data(), 1, n, f.get()) != n) {
+    throw std::runtime_error("cannot read file: " + path);
+  }
+  return out;
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,26 @@
+// IPComp — interpolation-based progressive lossy compression.
+//
+// Umbrella public header.  Typical use:
+//
+//   #include "ipcomp.hpp"
+//
+//   ipcomp::NdArray<double> field = ...;       // your data
+//   ipcomp::Options opt;
+//   opt.error_bound = 1e-6;                    // relative to the value range
+//   ipcomp::Bytes archive = ipcomp::compress(field.const_view(), opt);
+//
+//   ipcomp::MemorySource src(std::move(archive));
+//   ipcomp::ProgressiveReader<double> reader(src);
+//   auto coarse = reader.request_error_bound(1e-2);   // loads a few planes
+//   auto finer  = reader.request_bitrate(2.0);        // incremental refine
+//   auto full   = reader.request_full();              // error <= eb
+//   const std::vector<double>& values = reader.data();
+#pragma once
+
+#include "core/compressor.hpp"
+#include "core/header.hpp"
+#include "core/options.hpp"
+#include "core/progressive_reader.hpp"
+#include "io/archive.hpp"
+#include "util/dims.hpp"
+#include "util/ndarray.hpp"

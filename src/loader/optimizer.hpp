@@ -1,0 +1,59 @@
+// Optimized data loading (paper §5): choose, per level, how many low
+// bitplanes to skip so that either
+//   * error-bound mode — the guaranteed L∞ error stays ≤ E while the bytes
+//     loaded are minimized, or
+//   * bitrate mode — the bytes loaded stay ≤ S while the guaranteed error is
+//     minimized.
+// Both are multiple-choice knapsacks solved by dynamic programming over a
+// discretized budget axis; discretization always rounds *against* the user's
+// budget so the constraint can never be violated (DESIGN.md §6.7).
+//
+// Greedy and uniform planners exist for the ablation study (bench_ablation_
+// optimizer); DP dominates both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ipcomp {
+
+/// Planner view of one progressive level.
+struct LevelPlanInput {
+  /// Compressed byte size of each stored plane; index 0 = LSB.
+  std::vector<std::uint64_t> plane_size;
+  /// err[d]: guaranteed error contribution (value units, amplification
+  /// already applied) of dropping the d lowest stored planes; size n+1.
+  std::vector<double> err;
+  /// Planes already resident from previous requests, counted from the top
+  /// (MSB side).  Their bytes are sunk: free to use, impossible to unload.
+  unsigned already_loaded = 0;
+};
+
+struct LoadPlan {
+  /// Per level: number of planes to use, counted from the top.  Always
+  /// >= already_loaded for that level.
+  std::vector<unsigned> planes_to_use;
+  /// Sum of err[d] over levels under the chosen plan (value units).
+  double guaranteed_error = 0.0;
+  /// Bytes of not-yet-loaded plane segments the plan will fetch.
+  std::uint64_t new_bytes = 0;
+};
+
+enum class PlannerKind {
+  kDynamicProgramming,
+  kGreedy,
+  kUniform,
+};
+
+/// Error-bound mode: minimize newly loaded bytes subject to
+/// Σ err ≤ error_budget (the caller passes E − eb).
+LoadPlan plan_error_bound(const std::vector<LevelPlanInput>& levels,
+                          double error_budget,
+                          PlannerKind kind = PlannerKind::kDynamicProgramming);
+
+/// Bitrate mode: minimize Σ err subject to new bytes ≤ byte_budget.
+LoadPlan plan_byte_budget(const std::vector<LevelPlanInput>& levels,
+                          std::uint64_t byte_budget,
+                          PlannerKind kind = PlannerKind::kDynamicProgramming);
+
+}  // namespace ipcomp

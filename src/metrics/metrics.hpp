@@ -1,0 +1,77 @@
+// Compression quality metrics (paper §3.1.1).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "util/ndarray.hpp"
+
+namespace ipcomp {
+
+struct ErrorStats {
+  double max_abs = 0.0;   // L∞
+  double mse = 0.0;       // mean squared error
+  double psnr = 0.0;      // 20·log10(range / rmse)
+  double range = 0.0;     // max - min of the original data
+};
+
+/// Compare a decompressed array against the original.
+template <typename T>
+ErrorStats compute_error_stats(std::span<const T> original,
+                               std::span<const T> decompressed) {
+  ErrorStats s;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double sq = 0.0;
+  const std::size_t n = original.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double o = static_cast<double>(original[i]);
+    const double d = static_cast<double>(decompressed[i]);
+    const double e = o - d;
+    s.max_abs = std::max(s.max_abs, std::abs(e));
+    sq += e * e;
+    lo = std::min(lo, o);
+    hi = std::max(hi, o);
+  }
+  s.mse = n ? sq / static_cast<double>(n) : 0.0;
+  s.range = hi - lo;
+  if (s.mse > 0.0 && s.range > 0.0) {
+    s.psnr = 20.0 * std::log10(s.range / std::sqrt(s.mse));
+  } else {
+    s.psnr = std::numeric_limits<double>::infinity();
+  }
+  return s;
+}
+
+/// size(original) / size(compressed).
+inline double compression_ratio(std::size_t original_bytes,
+                                std::size_t compressed_bytes) {
+  return compressed_bytes
+             ? static_cast<double>(original_bytes) /
+                   static_cast<double>(compressed_bytes)
+             : std::numeric_limits<double>::infinity();
+}
+
+/// Average bits per value in the compressed representation.
+template <typename T>
+double bitrate_of(std::size_t compressed_bytes, std::size_t element_count) {
+  return element_count
+             ? 8.0 * static_cast<double>(compressed_bytes) /
+                   static_cast<double>(element_count)
+             : 0.0;
+}
+
+/// Value range (max - min) of a field.
+template <typename T>
+double value_range(std::span<const T> data) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const T& v : data) {
+    lo = std::min(lo, static_cast<double>(v));
+    hi = std::max(hi, static_cast<double>(v));
+  }
+  return data.empty() ? 0.0 : hi - lo;
+}
+
+}  // namespace ipcomp

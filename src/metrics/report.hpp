@@ -1,0 +1,69 @@
+// Console table / CSV reporting for the benchmark harnesses.
+//
+// Every bench binary prints the same rows/series the paper's tables and
+// figures report; TableReporter keeps the columns aligned and optionally
+// mirrors them into a CSV file for plotting.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ipcomp {
+
+class TableReporter {
+ public:
+  explicit TableReporter(std::vector<std::string> columns,
+                         std::string csv_path = "")
+      : columns_(std::move(columns)) {
+    if (!csv_path.empty()) {
+      csv_.open(csv_path);
+      for (std::size_t i = 0; i < columns_.size(); ++i) {
+        csv_ << (i ? "," : "") << columns_[i];
+      }
+      csv_ << "\n";
+    }
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::cout << std::left << std::setw(width(i)) << columns_[i];
+    }
+    std::cout << "\n";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::cout << std::string(width(i) - 1, '-') << " ";
+    }
+    std::cout << "\n";
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::cout << std::left << std::setw(width(i)) << cells[i];
+      if (csv_.is_open()) csv_ << (i ? "," : "") << cells[i];
+    }
+    std::cout << "\n";
+    if (csv_.is_open()) csv_ << "\n";
+  }
+
+  static std::string num(double v, int precision = 4) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string sci(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+ private:
+  std::size_t width(std::size_t i) const {
+    return std::max<std::size_t>(columns_[i].size() + 2, 12);
+  }
+
+  std::vector<std::string> columns_;
+  std::ofstream csv_;
+};
+
+}  // namespace ipcomp

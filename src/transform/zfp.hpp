@@ -1,0 +1,45 @@
+// ZFP-style fixed-accuracy block transform compressor (paper §6.1.3;
+// Lindstrom, TVCG'14), reimplemented from scratch.
+//
+// Pipeline per 4^d block: block-floating-point (common exponent) → fixed
+// point int64 → separable lifted decorrelating transform → 64-bit negabinary
+// → sequency-ordered bitplanes → zfp's group-tested (adaptive unary)
+// bitplane coding.  Fixed-accuracy mode derives the number of encoded planes
+// per block from the tolerance and the block exponent; all-small blocks
+// collapse to a single flag bit.
+//
+// Deviations from the reference implementation: exponent storage is 12 bits
+// unconditionally, the sequency permutation is (coordinate-sum, index)
+// ordered, and blocks are grouped into independently coded chunks so
+// compression and decompression parallelize (reference zfp is serial per
+// stream).  The transform and plane coder match the published design.
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace ipcomp {
+
+class ZfpCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "ZFP"; }
+
+  /// eb_abs is the fixed-accuracy tolerance (guaranteed L∞ bound).
+  Bytes compress(NdConstView<double> data, double eb_abs) override;
+  std::vector<double> decompress(const Bytes& archive) override;
+
+  static Dims archive_dims(const Bytes& archive);
+};
+
+namespace zfp_detail {
+
+/// Forward/inverse lifting transform on 4 elements with stride s.
+void fwd_lift(std::int64_t* p, std::size_t s);
+void inv_lift(std::int64_t* p, std::size_t s);
+
+/// 64-bit negabinary.
+std::uint64_t nb64_encode(std::int64_t v);
+std::int64_t nb64_decode(std::uint64_t u);
+
+}  // namespace zfp_detail
+
+}  // namespace ipcomp

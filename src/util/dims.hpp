@@ -1,0 +1,110 @@
+// Shape handling for up to 4-dimensional scientific fields.
+//
+// Scientific datasets in this codebase are dense row-major arrays whose shape
+// rarely exceeds three dimensions (plus an optional field/time axis).  Dims is
+// a small value type: a dimension count plus extents, with the index helpers
+// every module needs (linearization, strides, total element count).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace ipcomp {
+
+/// Maximum supported array rank.
+inline constexpr std::size_t kMaxRank = 4;
+
+/// Shape of a dense row-major array (slowest-varying dimension first).
+class Dims {
+ public:
+  Dims() = default;
+
+  Dims(std::initializer_list<std::size_t> extents) {
+    if (extents.size() == 0 || extents.size() > kMaxRank) {
+      throw std::invalid_argument("Dims: rank must be in [1, 4]");
+    }
+    rank_ = extents.size();
+    std::size_t i = 0;
+    for (std::size_t e : extents) {
+      if (e == 0) throw std::invalid_argument("Dims: zero extent");
+      extent_[i++] = e;
+    }
+  }
+
+  static Dims of_rank(std::size_t rank, const std::size_t* extents) {
+    if (rank == 0 || rank > kMaxRank) {
+      throw std::invalid_argument("Dims: rank must be in [1, 4]");
+    }
+    Dims d;
+    d.rank_ = rank;
+    for (std::size_t i = 0; i < rank; ++i) {
+      if (extents[i] == 0) throw std::invalid_argument("Dims: zero extent");
+      d.extent_[i] = extents[i];
+    }
+    return d;
+  }
+
+  std::size_t rank() const { return rank_; }
+  std::size_t operator[](std::size_t i) const { return extent_[i]; }
+
+  /// Total number of elements.
+  std::size_t count() const {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= extent_[i];
+    return n;
+  }
+
+  /// Largest extent over all dimensions.
+  std::size_t max_extent() const {
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < rank_; ++i) m = std::max(m, extent_[i]);
+    return m;
+  }
+
+  /// Row-major strides (in elements).
+  std::array<std::size_t, kMaxRank> strides() const {
+    std::array<std::size_t, kMaxRank> s{};
+    std::size_t acc = 1;
+    for (std::size_t i = rank_; i-- > 0;) {
+      s[i] = acc;
+      acc *= extent_[i];
+    }
+    return s;
+  }
+
+  /// Linear index of a coordinate tuple.
+  std::size_t linear(const std::array<std::size_t, kMaxRank>& coord) const {
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < rank_; ++i) idx = idx * extent_[i] + coord[i];
+    return idx;
+  }
+
+  bool operator==(const Dims& o) const {
+    if (rank_ != o.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (extent_[i] != o.extent_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Dims& o) const { return !(*this == o); }
+
+  std::string to_string() const {
+    std::string s;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i) s += "x";
+      s += std::to_string(extent_[i]);
+    }
+    return s;
+  }
+
+ private:
+  std::size_t rank_ = 0;
+  std::array<std::size_t, kMaxRank> extent_{};
+};
+
+}  // namespace ipcomp

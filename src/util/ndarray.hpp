@@ -1,0 +1,84 @@
+// Owning and non-owning views of dense row-major N-d arrays.
+//
+// NdArray<T> owns storage; NdView<T> / NdConstView<T> are cheap fat pointers
+// (data + Dims).  All compressors in this repository operate on views so the
+// same buffers flow through pipelines without copies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/dims.hpp"
+
+namespace ipcomp {
+
+template <typename T>
+class NdConstView {
+ public:
+  NdConstView() = default;
+  NdConstView(const T* data, Dims dims) : data_(data), dims_(dims) {}
+
+  const T* data() const { return data_; }
+  const Dims& dims() const { return dims_; }
+  std::size_t count() const { return dims_.count(); }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  std::span<const T> span() const { return {data_, count()}; }
+
+ private:
+  const T* data_ = nullptr;
+  Dims dims_;
+};
+
+template <typename T>
+class NdView {
+ public:
+  NdView() = default;
+  NdView(T* data, Dims dims) : data_(data), dims_(dims) {}
+
+  T* data() const { return data_; }
+  const Dims& dims() const { return dims_; }
+  std::size_t count() const { return dims_.count(); }
+  T& operator[](std::size_t i) const { return data_[i]; }
+  std::span<T> span() const { return {data_, count()}; }
+  operator NdConstView<T>() const { return {data_, dims_}; }
+
+ private:
+  T* data_ = nullptr;
+  Dims dims_;
+};
+
+/// Owning dense row-major array.
+template <typename T>
+class NdArray {
+ public:
+  NdArray() = default;
+  explicit NdArray(Dims dims) : dims_(dims), storage_(dims.count()) {}
+  NdArray(Dims dims, std::vector<T> values)
+      : dims_(dims), storage_(std::move(values)) {
+    if (storage_.size() != dims_.count()) {
+      throw std::invalid_argument("NdArray: value count does not match dims");
+    }
+  }
+
+  const Dims& dims() const { return dims_; }
+  std::size_t count() const { return storage_.size(); }
+  T* data() { return storage_.data(); }
+  const T* data() const { return storage_.data(); }
+  T& operator[](std::size_t i) { return storage_[i]; }
+  const T& operator[](std::size_t i) const { return storage_[i]; }
+
+  NdView<T> view() { return {storage_.data(), dims_}; }
+  NdConstView<T> view() const { return {storage_.data(), dims_}; }
+  NdConstView<T> const_view() const { return {storage_.data(), dims_}; }
+
+  std::vector<T>& vector() { return storage_; }
+  const std::vector<T>& vector() const { return storage_; }
+
+ private:
+  Dims dims_;
+  std::vector<T> storage_;
+};
+
+}  // namespace ipcomp

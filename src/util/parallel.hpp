@@ -1,0 +1,46 @@
+// Thin OpenMP helpers.
+//
+// All parallel loops in this repository go through parallel_for so that the
+// code builds (serially) without OpenMP and so that grain-size policy lives in
+// one place.  Loop bodies must be independent per index.
+#pragma once
+
+#include <cstddef>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace ipcomp {
+
+/// Number of worker threads the runtime will use.
+inline int thread_count() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Parallel loop over [begin, end); falls back to serial when the trip count
+/// is below `grain` (parallelizing tiny loops costs more than it saves).
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                  std::size_t grain = 1024) {
+#if defined(_OPENMP)
+  if (end - begin >= grain && omp_get_max_threads() > 1) {
+    const std::ptrdiff_t b = static_cast<std::ptrdiff_t>(begin);
+    const std::ptrdiff_t e = static_cast<std::ptrdiff_t>(end);
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = b; i < e; ++i) {
+      fn(static_cast<std::size_t>(i));
+    }
+    return;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::size_t i = begin; i < end; ++i) fn(i);
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Dataset generators and property tests need fast, seed-stable randomness that
+// is identical across platforms; std::mt19937_64 distributions are not
+// portable across standard libraries, so uniform/normal draws are implemented
+// here explicitly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace ipcomp {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_u64(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (deterministic, portable).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Avoid log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace ipcomp

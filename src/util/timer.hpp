@@ -1,0 +1,30 @@
+// Wall-clock timing for throughput measurements.
+#pragma once
+
+#include <chrono>
+
+namespace ipcomp {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Throughput in MB/s given a byte count and elapsed seconds.
+inline double mb_per_s(std::size_t bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,149 @@
+#include "wavelet/cdf97.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace ipcomp {
+
+namespace cdf97_detail {
+
+namespace {
+// Standard CDF 9/7 lifting coefficients (JPEG2000 irreversible filter).
+constexpr double kAlpha = -1.586134342059924;
+constexpr double kBeta = -0.052980118572961;
+constexpr double kGamma = 0.882911075530934;
+constexpr double kDelta = 0.443506852043971;
+constexpr double kKappa = 1.230174104914001;
+
+// Symmetric extension (whole-point mirror): index -1 -> 1, n -> n-2.
+inline std::size_t mirror(std::ptrdiff_t i, std::size_t n) {
+  if (i < 0) return static_cast<std::size_t>(-i);
+  if (static_cast<std::size_t>(i) >= n) return 2 * (n - 1) - static_cast<std::size_t>(i);
+  return static_cast<std::size_t>(i);
+}
+
+void lift(double* v, std::size_t n, double c, bool odd_targets) {
+  const std::size_t start = odd_targets ? 1 : 0;
+  for (std::size_t i = start; i < n; i += 2) {
+    const double left = v[mirror(static_cast<std::ptrdiff_t>(i) - 1, n)];
+    const double right = v[mirror(static_cast<std::ptrdiff_t>(i) + 1, n)];
+    v[i] += c * (left + right);
+  }
+}
+
+}  // namespace
+
+void forward_line(double* x, std::size_t n, std::size_t stride, double* scratch) {
+  if (n < 2) return;
+  double* v = scratch;
+  for (std::size_t i = 0; i < n; ++i) v[i] = x[i * stride];
+  lift(v, n, kAlpha, /*odd=*/true);
+  lift(v, n, kBeta, /*odd=*/false);
+  lift(v, n, kGamma, /*odd=*/true);
+  lift(v, n, kDelta, /*odd=*/false);
+  // Scale and deinterleave: low band (evens) first, then high band (odds).
+  const std::size_t n_low = (n + 1) / 2;
+  for (std::size_t i = 0; i < n; i += 2) v[i] *= kKappa;
+  for (std::size_t i = 1; i < n; i += 2) v[i] /= kKappa;
+  for (std::size_t i = 0; i < n_low; ++i) x[i * stride] = v[2 * i];
+  for (std::size_t i = n_low; i < n; ++i) x[i * stride] = v[2 * (i - n_low) + 1];
+}
+
+void inverse_line(double* x, std::size_t n, std::size_t stride, double* scratch) {
+  if (n < 2) return;
+  double* v = scratch;
+  const std::size_t n_low = (n + 1) / 2;
+  for (std::size_t i = 0; i < n_low; ++i) v[2 * i] = x[i * stride];
+  for (std::size_t i = n_low; i < n; ++i) v[2 * (i - n_low) + 1] = x[i * stride];
+  for (std::size_t i = 0; i < n; i += 2) v[i] /= kKappa;
+  for (std::size_t i = 1; i < n; i += 2) v[i] *= kKappa;
+  lift(v, n, -kDelta, /*odd=*/false);
+  lift(v, n, -kGamma, /*odd=*/true);
+  lift(v, n, -kBeta, /*odd=*/false);
+  lift(v, n, -kAlpha, /*odd=*/true);
+  for (std::size_t i = 0; i < n; ++i) x[i * stride] = v[i];
+}
+
+}  // namespace cdf97_detail
+
+unsigned cdf97_levels(const Dims& dims) {
+  std::size_t min_e = dims[0];
+  for (std::size_t i = 0; i < dims.rank(); ++i) min_e = std::min(min_e, dims[i]);
+  unsigned levels = 0;
+  while ((min_e >> (levels + 1)) >= 8 && levels < 8) ++levels;
+  return std::max(1u, levels);
+}
+
+namespace {
+
+/// Applies fn(line base pointer, length, stride) over every line of `region`
+/// along `dim`, where region extents are `ext` within the full array `dims`.
+template <typename Fn>
+void for_each_line(NdView<double> data, const std::size_t* ext, unsigned dim,
+                   Fn&& fn) {
+  const Dims& dims = data.dims();
+  const auto strides = dims.strides();
+  const unsigned rank = static_cast<unsigned>(dims.rank());
+  // Enumerate all coordinates of the other dims within ext.
+  std::size_t n_lines = 1;
+  for (unsigned i = 0; i < rank; ++i) {
+    if (i != dim) n_lines *= ext[i];
+  }
+  parallel_for(0, n_lines, [&](std::size_t line) {
+    std::size_t rem = line;
+    std::size_t base = 0;
+    for (unsigned i = rank; i-- > 0;) {
+      if (i == dim) continue;
+      base += (rem % ext[i]) * strides[i];
+      rem /= ext[i];
+    }
+    fn(data.data() + base, ext[dim], strides[dim]);
+  }, /*grain=*/4);
+}
+
+}  // namespace
+
+void cdf97_forward(NdView<double> data, unsigned levels) {
+  const Dims& dims = data.dims();
+  const unsigned rank = static_cast<unsigned>(dims.rank());
+  std::size_t ext[kMaxRank];
+  for (unsigned i = 0; i < rank; ++i) ext[i] = dims[i];
+  const std::size_t max_len = dims.max_extent();
+  for (unsigned lvl = 0; lvl < levels; ++lvl) {
+    for (unsigned d = 0; d < rank; ++d) {
+      if (ext[d] < 2) continue;
+      for_each_line(data, ext, d, [&](double* base, std::size_t n, std::size_t s) {
+        thread_local std::vector<double> scratch;
+        if (scratch.size() < max_len) scratch.resize(max_len);
+        cdf97_detail::forward_line(base, n, s, scratch.data());
+      });
+    }
+    for (unsigned i = 0; i < rank; ++i) ext[i] = (ext[i] + 1) / 2;
+  }
+}
+
+void cdf97_inverse(NdView<double> data, unsigned levels) {
+  const Dims& dims = data.dims();
+  const unsigned rank = static_cast<unsigned>(dims.rank());
+  const std::size_t max_len = dims.max_extent();
+  for (unsigned lvl = levels; lvl-- > 0;) {
+    std::size_t ext[kMaxRank];
+    for (unsigned i = 0; i < rank; ++i) {
+      std::size_t e = dims[i];
+      for (unsigned t = 0; t < lvl; ++t) e = (e + 1) / 2;
+      ext[i] = e;
+    }
+    for (unsigned d = rank; d-- > 0;) {
+      if (ext[d] < 2) continue;
+      for_each_line(data, ext, d, [&](double* base, std::size_t n, std::size_t s) {
+        thread_local std::vector<double> scratch;
+        if (scratch.size() < max_len) scratch.resize(max_len);
+        cdf97_detail::inverse_line(base, n, s, scratch.data());
+      });
+    }
+  }
+}
+
+}  // namespace ipcomp

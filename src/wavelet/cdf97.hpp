@@ -1,0 +1,32 @@
+// CDF 9/7 biorthogonal wavelet transform via lifting (SPERR's decorrelator).
+//
+// Multi-level, multi-dimensional, arbitrary extents (odd lengths put the
+// extra sample in the low band), symmetric boundary extension.  The forward
+// and inverse transforms are exact inverses up to floating-point rounding.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/dims.hpp"
+#include "util/ndarray.hpp"
+
+namespace ipcomp {
+
+/// Number of dyadic levels used for the given dims (coarsest band >= 8).
+unsigned cdf97_levels(const Dims& dims);
+
+/// In-place forward transform with `levels` dyadic levels.
+void cdf97_forward(NdView<double> data, unsigned levels);
+
+/// In-place inverse transform.
+void cdf97_inverse(NdView<double> data, unsigned levels);
+
+namespace cdf97_detail {
+/// One forward/inverse pass over a single line of length n with stride s;
+/// scratch must hold n doubles.  Exposed for unit tests.
+void forward_line(double* x, std::size_t n, std::size_t stride, double* scratch);
+void inverse_line(double* x, std::size_t n, std::size_t stride, double* scratch);
+}  // namespace cdf97_detail
+
+}  // namespace ipcomp

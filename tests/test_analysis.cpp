@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/image.hpp"
+#include "analysis/stencil.hpp"
+#include "data/datasets.hpp"
+#include "io/archive.hpp"
+
+namespace ipcomp {
+namespace {
+
+NdArray<double> coordinate_field(const Dims& dims, double az, double ay, double ax,
+                                 double quad = 0.0) {
+  NdArray<double> f(dims);
+  const auto s = dims.strides();
+  for (std::size_t i = 0; i < f.count(); ++i) {
+    const double z = static_cast<double>(i / s[0]);
+    const double y = static_cast<double>((i / s[1]) % dims[1]);
+    const double x = static_cast<double>(i % dims[2]);
+    f[i] = az * z + ay * y + ax * x + quad * (x * x + y * y + z * z);
+  }
+  return f;
+}
+
+TEST(Stencil, GradientOfLinearFieldIsConstant) {
+  Dims dims{8, 9, 10};
+  auto f = coordinate_field(dims, 2.0, -3.0, 0.5);
+  auto gz = gradient(f.const_view(), 0);
+  auto gy = gradient(f.const_view(), 1);
+  auto gx = gradient(f.const_view(), 2);
+  for (std::size_t i = 0; i < f.count(); ++i) {
+    EXPECT_NEAR(gz[i], 2.0, 1e-12);
+    EXPECT_NEAR(gy[i], -3.0, 1e-12);
+    EXPECT_NEAR(gx[i], 0.5, 1e-12);
+  }
+}
+
+TEST(Stencil, LaplacianOfQuadratic) {
+  // f = x^2 + y^2 + z^2 has Laplacian 6 (interior points).
+  Dims dims{10, 10, 10};
+  auto f = coordinate_field(dims, 0, 0, 0, 1.0);
+  auto lap = laplacian(f.const_view());
+  const auto s = dims.strides();
+  for (std::size_t z = 1; z < 9; ++z) {
+    for (std::size_t y = 1; y < 9; ++y) {
+      for (std::size_t x = 1; x < 9; ++x) {
+        EXPECT_NEAR(lap[z * s[0] + y * s[1] + x], 6.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Stencil, CurlOfGradientIsZero) {
+  // V = grad(phi) has zero curl; use a smooth phi.
+  Dims dims{16, 16, 16};
+  NdArray<double> phi(dims);
+  const auto s = dims.strides();
+  for (std::size_t i = 0; i < phi.count(); ++i) {
+    const double z = static_cast<double>(i / s[0]) / 16.0;
+    const double y = static_cast<double>((i / s[1]) % 16) / 16.0;
+    const double x = static_cast<double>(i % 16) / 16.0;
+    phi[i] = std::sin(3 * x) * std::cos(2 * y) + z * z;
+  }
+  auto vz = gradient(phi.const_view(), 0);
+  auto vy = gradient(phi.const_view(), 1);
+  auto vx = gradient(phi.const_view(), 2);
+  auto curl = curl_magnitude(vx.const_view(), vy.const_view(), vz.const_view());
+  // Interior: discrete curl of a discrete gradient is ~0 (commuting central
+  // differences); boundaries use one-sided stencils and are excluded.
+  double max_interior = 0;
+  for (std::size_t z = 1; z < 15; ++z) {
+    for (std::size_t y = 1; y < 15; ++y) {
+      for (std::size_t x = 1; x < 15; ++x) {
+        max_interior = std::max(max_interior, curl[z * s[0] + y * s[1] + x]);
+      }
+    }
+  }
+  EXPECT_LT(max_interior, 1e-12);
+}
+
+TEST(Stencil, CurlOfRigidRotation) {
+  // V = omega x r with omega = (0, 0, w): |curl| = 2w everywhere.
+  Dims dims{8, 12, 12};
+  const double w = 1.5;
+  NdArray<double> vx(dims), vy(dims), vz(dims);
+  const auto s = dims.strides();
+  for (std::size_t i = 0; i < vx.count(); ++i) {
+    const double y = static_cast<double>((i / s[1]) % dims[1]);
+    const double x = static_cast<double>(i % dims[2]);
+    // Rotation about the z axis: V_x = -w*y, V_y = w*x, V_z = 0.
+    vz[i] = 0.0;
+    vy[i] = w * x;
+    vx[i] = -w * y;
+  }
+  auto curl = curl_magnitude(vx.const_view(), vy.const_view(), vz.const_view());
+  for (std::size_t z = 1; z + 1 < dims[0]; ++z) {
+    for (std::size_t y = 1; y + 1 < dims[1]; ++y) {
+      for (std::size_t x = 1; x + 1 < dims[2]; ++x) {
+        EXPECT_NEAR(curl[z * s[0] + y * s[1] + x], 2.0 * w, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Stencil, NrmseProperties) {
+  Dims dims{4, 4, 4};
+  auto f = coordinate_field(dims, 1, 1, 1);
+  EXPECT_EQ(nrmse(f.const_view(), f.const_view()), 0.0);
+  NdArray<double> g(dims, f.vector());
+  g[10] += 1.0;
+  EXPECT_GT(nrmse(f.const_view(), g.const_view()), 0.0);
+}
+
+TEST(Image, WritesValidPgmAndPpm) {
+  auto field = generate_field(Field::kDensity, Dims{8, 16, 24});
+  std::string pgm = ::testing::TempDir() + "/ipcomp_slice.pgm";
+  std::string ppm = ::testing::TempDir() + "/ipcomp_slice.ppm";
+  write_slice_pgm(pgm, field.const_view(), 4, 0.0, 3.0);
+  write_slice_ppm(ppm, field.const_view(), 4, 0.0, 3.0);
+  Bytes g = read_file(pgm);
+  Bytes p = read_file(ppm);
+  // P5 header + 16*24 pixels; P6 has 3 channels.
+  EXPECT_EQ(g[0], 'P');
+  EXPECT_EQ(g[1], '5');
+  EXPECT_GT(g.size(), 16u * 24u);
+  EXPECT_EQ(p[1], '6');
+  EXPECT_GT(p.size(), 3u * 16u * 24u);
+  std::remove(pgm.c_str());
+  std::remove(ppm.c_str());
+}
+
+TEST(Image, RejectsBadSlice) {
+  auto field = generate_field(Field::kDensity, Dims{4, 8, 8});
+  EXPECT_THROW(
+      write_slice_pgm(::testing::TempDir() + "/x.pgm", field.const_view(), 9, 0, 1),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/archive.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+Bytes make_payload(std::size_t n, std::uint8_t fill) { return Bytes(n, fill); }
+
+TEST(Archive, SegmentIdKeyRoundTrip) {
+  SegmentId id{3, 7, 29};
+  EXPECT_EQ(SegmentId::from_key(id.key()), id);
+}
+
+TEST(Archive, BuildAndReadBack) {
+  ArchiveBuilder b;
+  b.set_header(Bytes{1, 2, 3, 4});
+  b.add_segment({0, 1, 0}, make_payload(100, 0xAA));
+  b.add_segment({1, 1, 5}, make_payload(50, 0xBB));
+  b.add_segment({1, 2, 31}, make_payload(0, 0));
+  Bytes blob = b.finish();
+
+  MemorySource src(std::move(blob));
+  EXPECT_EQ(src.header(), (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(src.read_segment({0, 1, 0}), make_payload(100, 0xAA));
+  EXPECT_EQ(src.read_segment({1, 1, 5}), make_payload(50, 0xBB));
+  EXPECT_EQ(src.read_segment({1, 2, 31}), Bytes{});
+  EXPECT_TRUE(src.has_segment({1, 1, 5}));
+  EXPECT_FALSE(src.has_segment({1, 1, 6}));
+  EXPECT_EQ(src.segment_size({0, 1, 0}), 100u);
+}
+
+TEST(Archive, MissingSegmentThrows) {
+  ArchiveBuilder b;
+  b.set_header({});
+  Bytes blob = b.finish();
+  MemorySource src(std::move(blob));
+  EXPECT_THROW(src.read_segment({9, 9, 9}), std::runtime_error);
+  EXPECT_THROW(src.segment_size({9, 9, 9}), std::runtime_error);
+}
+
+TEST(Archive, BytesReadCountsOnlyTouchedSegments) {
+  ArchiveBuilder b;
+  b.set_header(make_payload(10, 1));
+  b.add_segment({0, 1, 0}, make_payload(1000, 2));
+  b.add_segment({0, 2, 0}, make_payload(3000, 3));
+  Bytes blob = b.finish();
+  std::size_t total = blob.size();
+
+  MemorySource src(std::move(blob));
+  EXPECT_EQ(src.bytes_read(), 0u);
+  src.header();
+  std::size_t header_cost = src.bytes_read();
+  EXPECT_GT(header_cost, 10u);          // header + index
+  EXPECT_LT(header_cost, total - 3500); // but not the payloads
+  src.header();
+  EXPECT_EQ(src.bytes_read(), header_cost);  // charged once
+  src.read_segment({0, 1, 0});
+  EXPECT_EQ(src.bytes_read(), header_cost + 1000);
+  EXPECT_EQ(src.total_size(), total);
+}
+
+TEST(Archive, CorruptMagicRejected) {
+  ArchiveBuilder b;
+  b.set_header({});
+  Bytes blob = b.finish();
+  blob[0] ^= 0xFF;
+  EXPECT_THROW(MemorySource src(std::move(blob)), std::runtime_error);
+}
+
+TEST(Archive, FileSourceMatchesMemorySource) {
+  Rng rng(8);
+  ArchiveBuilder b;
+  Bytes header(200);
+  for (auto& x : header) x = static_cast<std::uint8_t>(rng.next_u64());
+  b.set_header(header);
+  std::vector<std::pair<SegmentId, Bytes>> segs;
+  for (int i = 0; i < 20; ++i) {
+    SegmentId id{1, static_cast<std::uint16_t>(i / 5 + 1),
+                 static_cast<std::uint32_t>(i % 5)};
+    Bytes payload(rng.uniform_u64(5000));
+    for (auto& x : payload) x = static_cast<std::uint8_t>(rng.next_u64());
+    b.add_segment(id, payload);
+    segs.emplace_back(id, std::move(payload));
+  }
+  Bytes blob = b.finish();
+
+  std::string path = ::testing::TempDir() + "/ipcomp_archive_test.bin";
+  write_file(path, blob);
+
+  FileSource fsrc(path);
+  MemorySource msrc(std::move(blob));
+  EXPECT_EQ(fsrc.header(), msrc.header());
+  for (auto& [id, payload] : segs) {
+    EXPECT_EQ(fsrc.read_segment(id), payload);
+    EXPECT_EQ(fsrc.segment_size(id), payload.size());
+  }
+  EXPECT_EQ(fsrc.total_size(), msrc.total_size());
+  std::remove(path.c_str());
+}
+
+TEST(Archive, FileRoundTripHelpers) {
+  std::string path = ::testing::TempDir() + "/ipcomp_file_test.bin";
+  Bytes data = {9, 8, 7, 6};
+  write_file(path, data);
+  EXPECT_EQ(read_file(path), data);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_file(path), std::runtime_error);
+}
+
+TEST(Archive, ManySegmentsIndexedCorrectly) {
+  ArchiveBuilder b;
+  b.set_header({});
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    b.add_segment({2, static_cast<std::uint16_t>(i % 16), i},
+                  Bytes(i % 37, static_cast<std::uint8_t>(i)));
+  }
+  MemorySource src(b.finish());
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    SegmentId id{2, static_cast<std::uint16_t>(i % 16), i};
+    EXPECT_EQ(src.read_segment(id), Bytes(i % 37, static_cast<std::uint8_t>(i)));
+  }
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "bitplane/bitplane.hpp"
+#include "bitplane/negabinary.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+std::vector<std::uint32_t> random_values(std::size_t n, std::uint64_t seed,
+                                         unsigned max_bits = 32) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::uint32_t>(rng.next_u64());
+    if (max_bits < 32) x &= (std::uint32_t{1} << max_bits) - 1;
+  }
+  return v;
+}
+
+TEST(Bitplane, ExtractDepositSinglePlane) {
+  auto values = random_values(1000, 1);
+  for (unsigned k : {0u, 7u, 15u, 31u}) {
+    auto plane = extract_plane(values, k);
+    std::vector<std::uint32_t> rebuilt(values.size(), 0);
+    deposit_plane(rebuilt, plane, k);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(rebuilt[i], values[i] & (std::uint32_t{1} << k));
+    }
+  }
+}
+
+TEST(Bitplane, ExtractAllMatchesSingle) {
+  auto values = random_values(777, 2);  // odd size exercises the tail byte
+  auto all = extract_all_planes(values);
+  for (unsigned k = 0; k < kPlaneCount; ++k) {
+    EXPECT_EQ(all[k], extract_plane(values, k)) << "plane " << k;
+  }
+}
+
+TEST(Bitplane, FullSplitJoinRoundTrip) {
+  auto values = random_values(4096, 3);
+  auto all = extract_all_planes(values);
+  std::vector<std::uint32_t> rebuilt(values.size(), 0);
+  for (unsigned k = 0; k < kPlaneCount; ++k) {
+    deposit_plane(rebuilt, all[k], k);
+  }
+  EXPECT_EQ(rebuilt, values);
+}
+
+TEST(Bitplane, EmptyInput) {
+  std::vector<std::uint32_t> empty;
+  auto all = extract_all_planes(empty);
+  for (auto& p : all) EXPECT_TRUE(p.empty());
+  auto table = truncation_loss_table(empty);
+  for (auto v : table) EXPECT_EQ(v, 0);
+}
+
+TEST(Bitplane, PlaneBytesRounding) {
+  EXPECT_EQ(plane_bytes(0), 0u);
+  EXPECT_EQ(plane_bytes(1), 1u);
+  EXPECT_EQ(plane_bytes(8), 1u);
+  EXPECT_EQ(plane_bytes(9), 2u);
+}
+
+TEST(Bitplane, TruncationTableMatchesBruteForce) {
+  auto values = random_values(2000, 4, 20);
+  auto table = truncation_loss_table(values);
+  for (unsigned d = 0; d <= kPlaneCount; ++d) {
+    std::int64_t expected = 0;
+    for (auto v : values) {
+      expected = std::max(expected, std::abs(negabinary_low_bits_value(v, d)));
+    }
+    EXPECT_EQ(table[d], expected) << "d=" << d;
+  }
+}
+
+TEST(Bitplane, TruncationTableSmallMagnitudes) {
+  // Values representing small quantization codes: only low planes populated.
+  std::vector<std::uint32_t> values;
+  for (std::int64_t q = -50; q <= 50; ++q) values.push_back(negabinary_encode(q));
+  auto table = truncation_loss_table(values);
+  EXPECT_EQ(table[0], 0);
+  // Dropping everything loses at most the max magnitude.
+  EXPECT_EQ(table[kPlaneCount], 50);
+  // Bounded by the closed-form uncertainty at every depth.
+  for (unsigned d = 0; d <= kPlaneCount; ++d) {
+    EXPECT_LE(table[d], negabinary_uncertainty(d));
+  }
+}
+
+TEST(Bitplane, TruncationTableZeroValues) {
+  std::vector<std::uint32_t> values(100, 0);
+  auto table = truncation_loss_table(values);
+  for (auto v : table) EXPECT_EQ(v, 0);
+}
+
+TEST(Bitplane, DepositIntoPartiallyFilled) {
+  std::vector<std::uint32_t> values = {0b1000, 0b0000, 0b1000};
+  Bytes plane0 = extract_plane(std::vector<std::uint32_t>{1, 0, 1}, 0);
+  deposit_plane(values, plane0, 0);
+  EXPECT_EQ(values[0], 0b1001u);
+  EXPECT_EQ(values[1], 0b0000u);
+  EXPECT_EQ(values[2], 0b1001u);
+}
+
+}  // namespace
+}  // namespace ipcomp

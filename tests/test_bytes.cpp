@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "io/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-1234.5678);
+  w.f32(3.25f);
+  Bytes b = w.take();
+  ByteReader r({b.data(), b.size()});
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f64(), -1234.5678);
+  EXPECT_EQ(r.f32(), 3.25f);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304u);
+  Bytes b = w.take();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(Bytes, VarintBoundaries) {
+  ByteWriter w;
+  std::uint64_t cases[] = {0,   1,    127,  128,   16383, 16384,
+                           1u << 21, std::numeric_limits<std::uint64_t>::max()};
+  for (auto v : cases) w.varint(v);
+  Bytes b = w.take();
+  ByteReader r({b.data(), b.size()});
+  for (auto v : cases) EXPECT_EQ(r.varint(), v);
+}
+
+TEST(Bytes, SignedVarintZigzag) {
+  ByteWriter w;
+  std::int64_t cases[] = {0, -1, 1, -64, 63, 1'000'000, -1'000'000,
+                          std::numeric_limits<std::int64_t>::min(),
+                          std::numeric_limits<std::int64_t>::max()};
+  for (auto v : cases) w.svarint(v);
+  Bytes b = w.take();
+  ByteReader r({b.data(), b.size()});
+  for (auto v : cases) EXPECT_EQ(r.svarint(), v);
+}
+
+TEST(Bytes, VarintRandomRoundTrip) {
+  Rng rng(7);
+  ByteWriter w;
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 2000; ++i) {
+    // Exercise all byte-length classes.
+    std::uint64_t v = rng.next_u64() >> (rng.next_u64() % 64);
+    vals.push_back(v);
+    w.varint(v);
+  }
+  Bytes b = w.take();
+  ByteReader r({b.data(), b.size()});
+  for (auto v : vals) EXPECT_EQ(r.varint(), v);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.string("hello");
+  w.string("");
+  Bytes b = w.take();
+  ByteReader r({b.data(), b.size()});
+  EXPECT_EQ(r.string(), "hello");
+  EXPECT_EQ(r.string(), "");
+}
+
+TEST(Bytes, ReaderOutOfDataThrows) {
+  Bytes b = {1, 2};
+  ByteReader r({b.data(), b.size()});
+  r.u16();
+  EXPECT_THROW(r.u8(), std::runtime_error);
+}
+
+TEST(Bytes, ReaderBytesSpan) {
+  Bytes b = {1, 2, 3, 4, 5};
+  ByteReader r({b.data(), b.size()});
+  auto s = r.bytes(3);
+  EXPECT_EQ(s[2], 3);
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+#include "wavelet/cdf97.hpp"
+
+namespace ipcomp {
+namespace {
+
+using testutil::linf;
+using testutil::smooth_field;
+
+TEST(Cdf97Line, RoundTripVariousLengths) {
+  Rng rng(1);
+  for (std::size_t n : {2u, 3u, 4u, 5u, 7u, 8u, 16u, 17u, 100u, 101u}) {
+    std::vector<double> orig(n), work(n), scratch(n);
+    for (auto& v : orig) v = rng.uniform(-10, 10);
+    work = orig;
+    cdf97_detail::forward_line(work.data(), n, 1, scratch.data());
+    cdf97_detail::inverse_line(work.data(), n, 1, scratch.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(work[i], orig[i], 1e-10) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Cdf97Line, StridedAccess) {
+  Rng rng(2);
+  const std::size_t n = 32, stride = 7;
+  std::vector<double> buf(n * stride, -99.0), scratch(n);
+  std::vector<double> orig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    orig[i] = rng.uniform(-1, 1);
+    buf[i * stride] = orig[i];
+  }
+  cdf97_detail::forward_line(buf.data(), n, stride, scratch.data());
+  cdf97_detail::inverse_line(buf.data(), n, stride, scratch.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(buf[i * stride], orig[i], 1e-10);
+  }
+  // Elements between strides untouched.
+  EXPECT_EQ(buf[1], -99.0);
+}
+
+TEST(Cdf97Line, ConcentratesEnergyInLowBand) {
+  // A smooth signal must put most energy into the first (low-band) half.
+  const std::size_t n = 64;
+  std::vector<double> v(n), scratch(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = std::sin(0.2 * static_cast<double>(i));
+  cdf97_detail::forward_line(v.data(), n, 1, scratch.data());
+  double low = 0, high = 0;
+  for (std::size_t i = 0; i < n / 2; ++i) low += v[i] * v[i];
+  for (std::size_t i = n / 2; i < n; ++i) high += v[i] * v[i];
+  EXPECT_GT(low, 100 * high);
+}
+
+class Cdf97Shapes : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(Cdf97Shapes, MultiLevelRoundTrip) {
+  const Dims dims = GetParam();
+  auto field = smooth_field(dims, 3, 0.2);
+  NdArray<double> work(dims, field.vector());
+  const unsigned levels = cdf97_levels(dims);
+  cdf97_forward(work.view(), levels);
+  cdf97_inverse(work.view(), levels);
+  EXPECT_LE(linf(field.const_view(), work.vector()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Cdf97Shapes,
+                         ::testing::Values(Dims{64}, Dims{100}, Dims{31, 33},
+                                           Dims{64, 64}, Dims{16, 16, 16},
+                                           Dims{25, 30, 35}, Dims{50, 20, 41}),
+                         [](const auto& info) {
+                           std::string s = info.param.to_string();
+                           for (auto& c : s) {
+                             if (c == 'x') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Cdf97, LevelsHeuristic) {
+  EXPECT_GE(cdf97_levels(Dims{8}), 1u);
+  EXPECT_GE(cdf97_levels(Dims{256, 256, 256}), 4u);
+  EXPECT_LE(cdf97_levels(Dims{256, 256, 256}), 8u);
+  // Limited by the smallest dimension.
+  EXPECT_EQ(cdf97_levels(Dims{1024, 16}), 1u);
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "coding/codec.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+void round_trip(const Bytes& input) {
+  Bytes enc = codec_compress({input.data(), input.size()});
+  Bytes dec = codec_decompress({enc.data(), enc.size()}, input.size());
+  EXPECT_EQ(dec, input);
+}
+
+TEST(Codec, EmptyInput) { round_trip({}); }
+
+TEST(Codec, AllZeroUsesEmptyMethod) {
+  Bytes in(4096, 0);
+  Bytes enc = codec_compress({in.data(), in.size()});
+  EXPECT_EQ(enc.size(), 1u);
+  EXPECT_EQ(enc[0], static_cast<std::uint8_t>(CodecMethod::kEmpty));
+  round_trip(in);
+}
+
+TEST(Codec, SparseUsesRleOrLzh) {
+  Bytes in(8192, 0);
+  in[100] = 1;
+  in[5000] = 2;
+  Bytes enc = codec_compress({in.data(), in.size()});
+  EXPECT_LT(enc.size(), 32u);
+  round_trip(in);
+}
+
+TEST(Codec, RandomFallsBackToRaw) {
+  Rng rng(77);
+  Bytes in(4096);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.next_u64());
+  Bytes enc = codec_compress({in.data(), in.size()});
+  EXPECT_LE(enc.size(), in.size() + 1);
+  round_trip(in);
+}
+
+TEST(Codec, RepetitivePrefersLzh) {
+  Bytes in;
+  for (int i = 0; i < 10000; ++i) in.push_back(static_cast<std::uint8_t>(i % 7 ? 0 : 9));
+  Bytes enc = codec_compress({in.data(), in.size()});
+  EXPECT_LT(enc.size(), 600u);
+  round_trip(in);
+}
+
+TEST(Codec, LzhDisabled) {
+  Bytes in;
+  for (int i = 0; i < 10000; ++i) in.push_back(static_cast<std::uint8_t>(i));
+  Bytes enc = codec_compress({in.data(), in.size()}, /*try_lzh=*/false);
+  round_trip(in);
+  Bytes dec = codec_decompress({enc.data(), enc.size()}, in.size());
+  EXPECT_EQ(dec, in);
+}
+
+TEST(Codec, WrongSizeThrows) {
+  Bytes in(100, 0);
+  in[4] = 1;
+  Bytes enc = codec_compress({in.data(), in.size()});
+  EXPECT_THROW(codec_decompress({enc.data(), enc.size()}, 50), std::runtime_error);
+}
+
+TEST(Codec, EmptyBufferThrows) {
+  Bytes empty;
+  EXPECT_THROW(codec_decompress({empty.data(), empty.size()}, 4), std::runtime_error);
+}
+
+TEST(Codec, FuzzRoundTrip) {
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    Bytes in(rng.uniform_u64(5000));
+    double density = rng.uniform();
+    for (auto& b : in) {
+      b = rng.uniform() < density ? static_cast<std::uint8_t>(rng.next_u64()) : 0;
+    }
+    round_trip(in);
+  }
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "ipcomp.hpp"
+#include "test_util.hpp"
+
+namespace ipcomp {
+namespace {
+
+using testutil::linf;
+using testutil::smooth_field;
+
+struct CompressCase {
+  Dims dims;
+  double eb;
+  InterpKind kind;
+};
+
+class CompressorRoundTrip : public ::testing::TestWithParam<CompressCase> {};
+
+TEST_P(CompressorRoundTrip, FullRetrievalWithinErrorBound) {
+  const auto& c = GetParam();
+  auto field = smooth_field(c.dims, /*seed=*/7, /*noise=*/0.05);
+  Options opt;
+  opt.error_bound = c.eb;
+  opt.relative = false;
+  opt.interp = c.kind;
+  Bytes archive = compress(field.const_view(), opt);
+
+  MemorySource src(std::move(archive));
+  ProgressiveReader<double> reader(src);
+  auto st = reader.request_full();
+  EXPECT_LE(linf(field.const_view(), reader.data()), c.eb * (1 + 1e-9));
+  EXPECT_LE(st.guaranteed_error, c.eb * (1 + 1e-9));
+  EXPECT_EQ(reader.data().size(), c.dims.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CompressorRoundTrip,
+    ::testing::Values(
+        CompressCase{Dims{1000}, 1e-3, InterpKind::kCubic},
+        CompressCase{Dims{1000}, 1e-3, InterpKind::kLinear},
+        CompressCase{Dims{1}, 1e-3, InterpKind::kCubic},
+        CompressCase{Dims{7}, 1e-6, InterpKind::kCubic},
+        CompressCase{Dims{64, 64}, 1e-4, InterpKind::kCubic},
+        CompressCase{Dims{63, 65}, 1e-4, InterpKind::kLinear},
+        CompressCase{Dims{17, 5}, 1e-8, InterpKind::kCubic},
+        CompressCase{Dims{24, 24, 24}, 1e-4, InterpKind::kCubic},
+        CompressCase{Dims{10, 30, 20}, 1e-2, InterpKind::kLinear},
+        CompressCase{Dims{31, 17, 9}, 1e-6, InterpKind::kCubic},
+        CompressCase{Dims{6, 6, 6, 6}, 1e-4, InterpKind::kCubic}),
+    [](const auto& info) {
+      std::string s = info.param.dims.to_string() + "_" +
+                      (info.param.kind == InterpKind::kCubic ? "cubic" : "linear") +
+                      "_eb" + std::to_string(static_cast<int>(-std::log10(info.param.eb)));
+      for (auto& ch : s) {
+        if (ch == 'x') ch = '_';
+      }
+      return s;
+    });
+
+TEST(Compressor, RelativeErrorBound) {
+  auto field = smooth_field(Dims{40, 40}, 3);
+  Options opt;
+  opt.error_bound = 1e-4;
+  opt.relative = true;
+  const double range = testutil::value_range(field.const_view());
+  Bytes archive = compress(field.const_view(), opt);
+  MemorySource src(std::move(archive));
+  ProgressiveReader<double> reader(src);
+  reader.request_full();
+  EXPECT_LE(linf(field.const_view(), reader.data()), 1e-4 * range * (1 + 1e-9));
+  EXPECT_NEAR(reader.header().eb, 1e-4 * range, 1e-12 * range);
+}
+
+TEST(Compressor, SmoothDataCompressesWell) {
+  auto field = smooth_field(Dims{64, 64, 64}, 5, /*noise=*/0.0);
+  Options opt;
+  opt.error_bound = 1e-4;
+  Bytes archive = compress(field.const_view(), opt);
+  double ratio = static_cast<double>(field.count() * sizeof(double)) /
+                 static_cast<double>(archive.size());
+  EXPECT_GT(ratio, 20.0);  // smooth fields must compress far below raw size
+}
+
+TEST(Compressor, CubicExactOnCubicPolynomials) {
+  // Cubic spline interpolation reproduces cubic polynomials exactly at
+  // interior points, so a polynomial field compresses to almost nothing with
+  // the cubic kernel while the linear kernel pays for curvature everywhere.
+  Dims dims{48, 48, 48};
+  NdArray<double> field(dims);
+  auto strides = dims.strides();
+  for (std::size_t i = 0; i < dims.count(); ++i) {
+    double x = static_cast<double>(i / strides[0]) / 48.0;
+    double y = static_cast<double>((i / strides[1]) % 48) / 48.0;
+    double z = static_cast<double>(i % 48) / 48.0;
+    field[i] = x * x * x - 2 * y * y * y + 0.5 * z * z * z + x * y * z;
+  }
+  Options copt, lopt;
+  copt.error_bound = lopt.error_bound = 1e-6;
+  copt.interp = InterpKind::kCubic;
+  lopt.interp = InterpKind::kLinear;
+  auto ca = compress(field.const_view(), copt);
+  auto la = compress(field.const_view(), lopt);
+  EXPECT_LT(ca.size(), la.size());
+}
+
+TEST(Compressor, FloatInput) {
+  auto field = smooth_field<float>(Dims{32, 32, 32}, 7, 0.01f);
+  Options opt;
+  opt.error_bound = 1e-3;
+  opt.relative = false;
+  Bytes archive = compress(field.const_view(), opt);
+  MemorySource src(std::move(archive));
+  ProgressiveReader<float> reader(src);
+  reader.request_full();
+  EXPECT_LE(linf(field.const_view(), reader.data()), 1e-3 * (1 + 1e-6));
+}
+
+TEST(Compressor, TypeMismatchRejected) {
+  auto field = smooth_field(Dims{16, 16}, 8);
+  Bytes archive = compress(field.const_view(), {});
+  MemorySource src(std::move(archive));
+  EXPECT_THROW(ProgressiveReader<float> reader(src), std::runtime_error);
+}
+
+TEST(Compressor, ConstantField) {
+  NdArray<double> field(Dims{20, 20});
+  for (std::size_t i = 0; i < field.count(); ++i) field[i] = 42.0;
+  Options opt;
+  opt.error_bound = 1e-6;
+  Bytes archive = compress(field.const_view(), opt);
+  EXPECT_LT(archive.size(), 2000u);  // nearly nothing to store
+  MemorySource src(std::move(archive));
+  ProgressiveReader<double> reader(src);
+  reader.request_full();
+  EXPECT_LE(linf(field.const_view(), reader.data()), 1e-6);
+}
+
+TEST(Compressor, ExtremeValuesBecomeOutliers) {
+  auto field = smooth_field(Dims{32, 32}, 9);
+  field[100] = 1e18;   // far outside the quantizable range for a tight eb
+  field[500] = -1e18;
+  Options opt;
+  opt.error_bound = 1e-9;
+  opt.relative = false;
+  Bytes archive = compress(field.const_view(), opt);
+  MemorySource src(std::move(archive));
+  ProgressiveReader<double> reader(src);
+  reader.request_full();
+  // Outliers are stored exactly.
+  EXPECT_EQ(reader.data()[100], 1e18);
+  EXPECT_EQ(reader.data()[500], -1e18);
+  EXPECT_LE(linf(field.const_view(), reader.data()), 1e-9 * (1 + 1e-9));
+  std::uint64_t outliers = 0;
+  for (auto& l : reader.header().levels) outliers += l.outlier_count;
+  EXPECT_GE(outliers, 2u);
+}
+
+TEST(Compressor, InvalidErrorBoundRejected) {
+  auto field = smooth_field(Dims{8, 8}, 10);
+  Options opt;
+  opt.error_bound = 0.0;
+  EXPECT_THROW(compress(field.const_view(), opt), std::invalid_argument);
+  opt.error_bound = -1.0;
+  EXPECT_THROW(compress(field.const_view(), opt), std::invalid_argument);
+}
+
+TEST(Compressor, HeaderDescribesArchive) {
+  auto field = smooth_field(Dims{40, 30, 20}, 11);
+  Options opt;
+  opt.error_bound = 1e-5;
+  opt.interp = InterpKind::kCubic;
+  opt.prefix_bits = 2;
+  Bytes archive = compress(field.const_view(), opt);
+  MemorySource src(std::move(archive));
+  ProgressiveReader<double> reader(src);
+  const Header& h = reader.header();
+  EXPECT_EQ(h.dims, Dims({40, 30, 20}));
+  EXPECT_EQ(h.dtype, DataType::kFloat64);
+  EXPECT_EQ(h.interp, InterpKind::kCubic);
+  EXPECT_EQ(h.prefix_bits, 2u);
+  EXPECT_EQ(h.levels.size(), LevelStructure::analyze(h.dims).num_levels);
+  std::size_t total = 0;
+  for (auto& l : h.levels) total += l.count;
+  EXPECT_EQ(total, field.count());
+}
+
+TEST(Compressor, HeaderSerializationRoundTrip) {
+  Header h;
+  h.dtype = DataType::kFloat32;
+  h.dims = Dims{12, 34};
+  h.eb = 3.5e-7;
+  h.interp = InterpKind::kLinear;
+  h.prefix_bits = 3;
+  h.data_min = -2.5;
+  h.data_max = 9.75;
+  h.levels.resize(2);
+  h.levels[0].count = 300;
+  h.levels[0].progressive = true;
+  h.levels[0].n_planes = 5;
+  h.levels[0].loss = {0, 1, 2, 5, 10, 21};
+  h.levels[0].outlier_count = 3;
+  h.levels[1].count = 108;
+  h.levels[1].progressive = false;
+  h.levels[1].n_planes = 0;
+  h.levels[1].loss = {0};
+  Bytes raw = h.serialize();
+  Header back = Header::parse(raw);
+  EXPECT_EQ(back.dtype, h.dtype);
+  EXPECT_EQ(back.dims, h.dims);
+  EXPECT_EQ(back.eb, h.eb);
+  EXPECT_EQ(back.interp, h.interp);
+  EXPECT_EQ(back.prefix_bits, h.prefix_bits);
+  EXPECT_EQ(back.data_min, h.data_min);
+  EXPECT_EQ(back.data_max, h.data_max);
+  ASSERT_EQ(back.levels.size(), 2u);
+  EXPECT_EQ(back.levels[0].loss, h.levels[0].loss);
+  EXPECT_EQ(back.levels[0].outlier_count, 3u);
+  EXPECT_FALSE(back.levels[1].progressive);
+}
+
+TEST(Compressor, PrefixBitsVariantsRoundTrip) {
+  auto field = smooth_field(Dims{32, 32, 16}, 12, 0.02);
+  for (unsigned prefix : {0u, 1u, 2u, 3u}) {
+    Options opt;
+    opt.error_bound = 1e-4;
+    opt.prefix_bits = prefix;
+    Bytes archive = compress(field.const_view(), opt);
+    MemorySource src(std::move(archive));
+    ProgressiveReader<double> reader(src);
+    reader.request_full();
+    double range = testutil::value_range(field.const_view());
+    EXPECT_LE(linf(field.const_view(), reader.data()), 1e-4 * range * (1 + 1e-9))
+        << "prefix=" << prefix;
+  }
+}
+
+TEST(Compressor, FileBackedArchive) {
+  auto field = smooth_field(Dims{32, 32}, 13);
+  Options opt;
+  opt.error_bound = 1e-5;
+  Bytes archive = compress(field.const_view(), opt);
+  std::string path = ::testing::TempDir() + "/ipcomp_roundtrip.ipc";
+  write_file(path, archive);
+
+  FileSource src(path);
+  ProgressiveReader<double> reader(src);
+  reader.request_full();
+  double range = testutil::value_range(field.const_view());
+  EXPECT_LE(linf(field.const_view(), reader.data()), 1e-5 * range * (1 + 1e-9));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/datasets.hpp"
+#include "data/noise.hpp"
+#include "io/archive.hpp"
+#include "metrics/metrics.hpp"
+
+namespace ipcomp {
+namespace {
+
+TEST(Noise, DeterministicAndBounded) {
+  for (int i = 0; i < 1000; ++i) {
+    double x = i * 0.173, y = i * 0.311, z = i * 0.457;
+    double a = value_noise3(x, y, z, 42);
+    double b = value_noise3(x, y, z, 42);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, -1.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(Noise, DifferentSeedsDiffer) {
+  int diff = 0;
+  for (int i = 0; i < 100; ++i) {
+    double x = i * 0.7;
+    if (value_noise3(x, 0.3, 0.9, 1) != value_noise3(x, 0.3, 0.9, 2)) ++diff;
+  }
+  EXPECT_GT(diff, 90);
+}
+
+TEST(Noise, SmoothAcrossCellBoundaries) {
+  // C1 continuity: small steps give small changes, even across lattice lines.
+  for (double x = 0.9; x < 1.1; x += 0.001) {
+    double a = value_noise3(x, 0.5, 0.5, 7);
+    double b = value_noise3(x + 0.001, 0.5, 0.5, 7);
+    EXPECT_LT(std::abs(a - b), 0.05);
+  }
+}
+
+TEST(Noise, FbmIsNormalized) {
+  double mx = 0;
+  for (int i = 0; i < 2000; ++i) {
+    double v = fbm3(i * 0.37, i * 0.73, i * 0.11, 5, 6);
+    mx = std::max(mx, std::abs(v));
+  }
+  EXPECT_LE(mx, 1.0);
+  EXPECT_GT(mx, 0.2);  // and not degenerate
+}
+
+TEST(Datasets, StandardListMatchesTable3) {
+  auto specs = standard_datasets(DataScale::kPaper);
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "Density");
+  EXPECT_EQ(specs[0].dims, Dims({256, 384, 384}));
+  EXPECT_EQ(specs[3].name, "Wave");
+  EXPECT_EQ(specs[3].dims, Dims({1008, 1008, 352}));
+  EXPECT_EQ(specs[4].name, "SpeedX");
+  EXPECT_EQ(specs[4].dims, Dims({100, 500, 500}));
+  EXPECT_EQ(specs[5].name, "CH4");
+  EXPECT_EQ(specs[5].dims, Dims({500, 500, 500}));
+}
+
+TEST(Datasets, SmallScalePreservesAspect) {
+  for (auto& spec : standard_datasets(DataScale::kSmall)) {
+    EXPECT_EQ(spec.dims.rank(), 3u);
+    EXPECT_GT(spec.dims.count(), 100000u) << spec.name;
+    EXPECT_LT(spec.dims.count(), 2000000u) << spec.name;
+  }
+}
+
+TEST(Datasets, GenerationIsDeterministic) {
+  Dims dims{16, 16, 16};
+  auto a = generate_field(Field::kDensity, dims);
+  auto b = generate_field(Field::kDensity, dims);
+  for (std::size_t i = 0; i < a.count(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Datasets, FieldsHaveDomainAppropriateStatistics) {
+  Dims dims{24, 32, 32};
+  // Density: positive, order ~1.
+  auto density = generate_field(Field::kDensity, dims);
+  for (std::size_t i = 0; i < density.count(); ++i) EXPECT_GT(density[i], 0.0);
+  // CH4 mass fraction: in [0, ~0.1], mostly near zero.
+  auto ch4 = generate_field(Field::kCH4, dims);
+  std::size_t near_zero = 0;
+  for (std::size_t i = 0; i < ch4.count(); ++i) {
+    EXPECT_GE(ch4[i], 0.0);
+    EXPECT_LE(ch4[i], 0.1);
+    if (ch4[i] < 0.005) ++near_zero;
+  }
+  EXPECT_GT(near_zero, ch4.count() / 2);
+  // Wave: oscillatory around zero.
+  auto wave = generate_field(Field::kWave, dims);
+  double mean = 0;
+  for (std::size_t i = 0; i < wave.count(); ++i) mean += wave[i];
+  mean /= static_cast<double>(wave.count());
+  EXPECT_LT(std::abs(mean), 0.2);
+  // SpeedX: wind speeds with tens-of-m/s dynamic range.
+  auto speed = generate_field(Field::kSpeedX, dims);
+  EXPECT_GT(value_range<double>({speed.data(), speed.count()}), 10.0);
+}
+
+TEST(Datasets, AllFieldsGenerateAtTinyScale) {
+  for (auto f : {Field::kDensity, Field::kPressure, Field::kVelocityX,
+                 Field::kVelocityY, Field::kVelocityZ, Field::kWave,
+                 Field::kSpeedX, Field::kCH4}) {
+    auto spec = dataset_spec(f, DataScale::kTiny);
+    auto field = generate_field(f, spec.dims);
+    EXPECT_EQ(field.count(), spec.dims.count()) << field_name(f);
+    for (std::size_t i = 0; i < field.count(); ++i) {
+      ASSERT_TRUE(std::isfinite(field[i])) << field_name(f);
+    }
+  }
+}
+
+TEST(Datasets, CacheReturnsSameObject) {
+  const auto& a = cached_field(Field::kCH4, DataScale::kTiny);
+  const auto& b = cached_field(Field::kCH4, DataScale::kTiny);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Datasets, RawReaderRoundTrip) {
+  Dims dims{4, 5, 6};
+  auto field = generate_field(Field::kPressure, dims);
+  // Write as f32 and f64 raw files, read back.
+  std::string p32 = ::testing::TempDir() + "/ipcomp_raw32.dat";
+  std::string p64 = ::testing::TempDir() + "/ipcomp_raw64.dat";
+  Bytes b32, b64;
+  for (std::size_t i = 0; i < field.count(); ++i) {
+    float f = static_cast<float>(field[i]);
+    double d = field[i];
+    const auto* pf = reinterpret_cast<const std::uint8_t*>(&f);
+    const auto* pd = reinterpret_cast<const std::uint8_t*>(&d);
+    b32.insert(b32.end(), pf, pf + 4);
+    b64.insert(b64.end(), pd, pd + 8);
+  }
+  write_file(p32, b32);
+  write_file(p64, b64);
+  auto r32 = sdr_raw_read(p32, dims, /*is_float32=*/true);
+  auto r64 = sdr_raw_read(p64, dims, /*is_float32=*/false);
+  for (std::size_t i = 0; i < field.count(); ++i) {
+    EXPECT_EQ(r64[i], field[i]);
+    EXPECT_NEAR(r32[i], field[i], 1e-4);
+  }
+  EXPECT_THROW(sdr_raw_read(p32, Dims{3, 3}, true), std::runtime_error);
+  std::remove(p32.c_str());
+  std::remove(p64.c_str());
+}
+
+TEST(Metrics, ErrorStatsBasics) {
+  std::vector<double> a = {0, 1, 2, 3};
+  std::vector<double> b = {0, 1.5, 2, 2.5};
+  auto s = compute_error_stats<double>(a, b);
+  EXPECT_DOUBLE_EQ(s.max_abs, 0.5);
+  EXPECT_DOUBLE_EQ(s.mse, (0.25 + 0.25) / 4);
+  EXPECT_DOUBLE_EQ(s.range, 3.0);
+  EXPECT_NEAR(s.psnr, 20 * std::log10(3.0 / std::sqrt(s.mse)), 1e-12);
+}
+
+TEST(Metrics, IdenticalArraysInfinitePsnr) {
+  std::vector<double> a = {1, 2, 3};
+  auto s = compute_error_stats<double>(a, a);
+  EXPECT_EQ(s.max_abs, 0.0);
+  EXPECT_TRUE(std::isinf(s.psnr));
+}
+
+TEST(Metrics, RatioAndBitrate) {
+  EXPECT_DOUBLE_EQ(compression_ratio(800, 100), 8.0);
+  EXPECT_DOUBLE_EQ(bitrate_of<double>(100, 100), 8.0);
+}
+
+}  // namespace
+}  // namespace ipcomp

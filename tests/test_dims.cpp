@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "util/dims.hpp"
+#include "util/ndarray.hpp"
+
+namespace ipcomp {
+namespace {
+
+TEST(Dims, BasicProperties) {
+  Dims d{4, 6, 8};
+  EXPECT_EQ(d.rank(), 3u);
+  EXPECT_EQ(d.count(), 192u);
+  EXPECT_EQ(d.max_extent(), 8u);
+  EXPECT_EQ(d[0], 4u);
+  EXPECT_EQ(d[2], 8u);
+  EXPECT_EQ(d.to_string(), "4x6x8");
+}
+
+TEST(Dims, RowMajorStrides) {
+  Dims d{4, 6, 8};
+  auto s = d.strides();
+  EXPECT_EQ(s[0], 48u);
+  EXPECT_EQ(s[1], 8u);
+  EXPECT_EQ(s[2], 1u);
+}
+
+TEST(Dims, LinearIndexing) {
+  Dims d{3, 5};
+  EXPECT_EQ(d.linear({0, 0}), 0u);
+  EXPECT_EQ(d.linear({1, 2}), 7u);
+  EXPECT_EQ(d.linear({2, 4}), 14u);
+}
+
+TEST(Dims, Equality) {
+  EXPECT_EQ(Dims({2, 3}), Dims({2, 3}));
+  EXPECT_NE(Dims({2, 3}), Dims({3, 2}));
+  EXPECT_NE(Dims({2, 3}), Dims({2, 3, 1}));
+}
+
+TEST(Dims, RejectsInvalid) {
+  EXPECT_THROW(Dims({}), std::invalid_argument);
+  EXPECT_THROW(Dims({0}), std::invalid_argument);
+  EXPECT_THROW(Dims({1, 2, 3, 4, 5}), std::invalid_argument);
+  std::size_t e[] = {3, 0};
+  EXPECT_THROW(Dims::of_rank(2, e), std::invalid_argument);
+}
+
+TEST(Dims, OfRank) {
+  std::size_t e[] = {7, 9};
+  Dims d = Dims::of_rank(2, e);
+  EXPECT_EQ(d.count(), 63u);
+}
+
+TEST(NdArray, OwnsAndViews) {
+  NdArray<double> a(Dims{2, 3});
+  EXPECT_EQ(a.count(), 6u);
+  a[4] = 2.5;
+  NdConstView<double> v = a.const_view();
+  EXPECT_EQ(v[4], 2.5);
+  EXPECT_EQ(v.dims(), a.dims());
+}
+
+TEST(NdArray, FromVector) {
+  NdArray<float> a(Dims{2, 2}, {1.f, 2.f, 3.f, 4.f});
+  EXPECT_EQ(a[3], 4.f);
+  EXPECT_THROW(NdArray<float>(Dims{2, 2}, {1.f}), std::invalid_argument);
+}
+
+TEST(NdArray, MutableView) {
+  NdArray<int> a(Dims{4});
+  a.view()[2] = 7;
+  EXPECT_EQ(a[2], 7);
+  EXPECT_EQ(a.view().span().size(), 4u);
+}
+
+}  // namespace
+}  // namespace ipcomp

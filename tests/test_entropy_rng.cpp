@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coding/entropy.hpp"
+#include "io/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+// ---------------------------------------------------------------- entropy --
+
+TEST(Entropy, BinaryEntropyEndpoints) {
+  EXPECT_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+}
+
+TEST(Entropy, BinaryEntropySymmetricAndConcave) {
+  for (double p : {0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(binary_entropy(p), binary_entropy(1 - p), 1e-12);
+    EXPECT_LT(binary_entropy(p), 1.0);
+    EXPECT_GT(binary_entropy(p), 0.0);
+  }
+}
+
+TEST(Entropy, BitEntropyOfKnownStream) {
+  // 12 bits: 3 ones, 9 zeros -> H(0.25).
+  Bytes packed = {0b00010011, 0b0000};  // bits 0,1,4 set in first byte
+  EXPECT_NEAR(bit_entropy(packed, 12), binary_entropy(3.0 / 12.0), 1e-12);
+}
+
+TEST(Entropy, BitEntropyIgnoresTailBits) {
+  Bytes a = {0b00001111, 0b11111111};
+  // Only the first 4 bits counted: all ones -> entropy 0.
+  EXPECT_EQ(bit_entropy(a, 4), 0.0);
+}
+
+TEST(Entropy, ByteEntropyUniformIsEight) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_NEAR(byte_entropy(data), 8.0, 1e-12);
+}
+
+TEST(Entropy, ByteEntropyConstantIsZero) {
+  EXPECT_EQ(byte_entropy(Bytes(100, 7)), 0.0);
+}
+
+// -------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  bool all_same = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    auto va = a.next_u64(), vb = b.next_u64(), vc = c.next_u64();
+    all_same &= (va == vb);
+    any_diff |= (va != vc);
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    double w = rng.uniform(-3, 7);
+    EXPECT_GE(w, -3.0);
+    EXPECT_LT(w, 7.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(6);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.uniform();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, UniformU64Bounded) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,104 @@
+// Randomized stress tests: many seeds, random shapes, random content styles.
+// These sweeps are the "did we miss a geometry / content interaction"
+// backstop for the whole stack.
+#include <gtest/gtest.h>
+
+#include "coding/lzh.hpp"
+#include "ipcomp.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+using testutil::linf;
+
+Dims random_dims(Rng& rng, std::size_t max_count) {
+  const unsigned rank = 1 + static_cast<unsigned>(rng.uniform_u64(3));
+  std::size_t extents[kMaxRank];
+  std::size_t count = 1;
+  for (unsigned i = 0; i < rank; ++i) {
+    extents[i] = 1 + rng.uniform_u64(40);
+    count *= extents[i];
+  }
+  while (count > max_count) {
+    for (unsigned i = 0; i < rank; ++i) {
+      extents[i] = std::max<std::size_t>(1, extents[i] / 2);
+    }
+    count = 1;
+    for (unsigned i = 0; i < rank; ++i) count *= extents[i];
+  }
+  return Dims::of_rank(rank, extents);
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, IpcompRandomShapesAndContent) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    Dims dims = random_dims(rng, 60000);
+    NdArray<double> field(dims);
+    const int style = static_cast<int>(rng.uniform_u64(4));
+    double scale_v = std::pow(10.0, rng.uniform(-3, 3));
+    for (std::size_t i = 0; i < field.count(); ++i) {
+      switch (style) {
+        case 0:  // smooth
+          field[i] = scale_v * std::sin(0.05 * static_cast<double>(i));
+          break;
+        case 1:  // rough
+          field[i] = scale_v * rng.normal();
+          break;
+        case 2:  // piecewise constant
+          field[i] = scale_v * static_cast<double>((i / 97) % 5);
+          break;
+        default:  // mixed with spikes
+          field[i] = scale_v * std::sin(0.01 * static_cast<double>(i)) +
+                     (rng.uniform() < 0.001 ? scale_v * 1e6 : 0.0);
+      }
+    }
+    Options opt;
+    opt.error_bound = std::pow(10.0, -3.0 - rng.uniform_u64(6));
+    opt.relative = true;
+    opt.interp = rng.uniform() < 0.5 ? InterpKind::kCubic : InterpKind::kLinear;
+    opt.progressive_threshold = 1 + rng.uniform_u64(8192);
+    Bytes archive = compress(field.const_view(), opt);
+
+    MemorySource src(std::move(archive));
+    ProgressiveReader<double> reader(src);
+    const double eb = reader.header().eb;
+    // Random partial request then full: both guarantees must hold.
+    const double target = eb * std::pow(4.0, static_cast<double>(rng.uniform_u64(8)));
+    auto st = reader.request_error_bound(target);
+    EXPECT_LE(linf(field.const_view(), reader.data()), st.guaranteed_error * (1 + 1e-9))
+        << "dims " << dims.to_string() << " style " << style;
+    reader.request_full();
+    EXPECT_LE(linf(field.const_view(), reader.data()), eb * (1 + 1e-9))
+        << "dims " << dims.to_string() << " style " << style;
+  }
+}
+
+TEST_P(FuzzSeeds, LzhArbitraryBytes) {
+  Rng rng(2000 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    Bytes in(rng.uniform_u64(40000));
+    const int style = static_cast<int>(rng.uniform_u64(3));
+    std::uint8_t run_val = 0;
+    for (auto& b : in) {
+      if (style == 0) {
+        b = static_cast<std::uint8_t>(rng.next_u64());
+      } else if (style == 1) {
+        if (rng.uniform() < 0.02) run_val = static_cast<std::uint8_t>(rng.next_u64());
+        b = run_val;
+      } else {
+        b = static_cast<std::uint8_t>(rng.uniform_u64(3));
+      }
+    }
+    Bytes enc = lzh_compress({in.data(), in.size()});
+    EXPECT_EQ(lzh_decompress({enc.data(), enc.size()}), in);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ipcomp

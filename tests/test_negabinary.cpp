@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "bitplane/negabinary.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+TEST(Negabinary, KnownValues) {
+  // From the paper: 1 -> 00000001, -1 -> 00000011 (base -2: -2 + 1 = -1).
+  EXPECT_EQ(negabinary_encode(0), 0u);
+  EXPECT_EQ(negabinary_encode(1), 1u);
+  EXPECT_EQ(negabinary_encode(-1), 3u);
+  EXPECT_EQ(negabinary_encode(2), 6u);   // 110: 4 - 2 = 2
+  EXPECT_EQ(negabinary_encode(-2), 2u);  // 010: -2
+  EXPECT_EQ(negabinary_encode(3), 7u);   // 111: 4 - 2 + 1
+}
+
+TEST(Negabinary, RoundTripSmall) {
+  for (std::int64_t v = -100000; v <= 100000; ++v) {
+    EXPECT_EQ(negabinary_decode(negabinary_encode(v)), v);
+  }
+}
+
+TEST(Negabinary, RoundTripRandomWide) {
+  Rng rng(4);
+  for (int i = 0; i < 200000; ++i) {
+    std::int64_t v = static_cast<std::int64_t>(rng.next_u64() % (1ull << 31)) -
+                     (1ll << 30);
+    EXPECT_EQ(negabinary_decode(negabinary_encode(v)), v);
+  }
+}
+
+TEST(Negabinary, RangeLimits) {
+  EXPECT_EQ(negabinary_decode(negabinary_encode(kNegabinaryMax)), kNegabinaryMax);
+  EXPECT_EQ(negabinary_decode(negabinary_encode(kNegabinaryMin)), kNegabinaryMin);
+  EXPECT_EQ(negabinary_encode(kNegabinaryMax), 0x55555555u);
+  EXPECT_EQ(negabinary_encode(kNegabinaryMin), 0xAAAAAAAAu);
+}
+
+TEST(Negabinary, ValuesNearZeroHaveLowBitsOnly) {
+  // This is the property the paper exploits: small |v| -> only low planes set.
+  for (std::int64_t v = -8; v <= 8; ++v) {
+    std::uint32_t u = negabinary_encode(v);
+    EXPECT_LT(u, 64u) << "v=" << v;
+  }
+}
+
+TEST(Negabinary, DecodeIsLinearOverBitPositions) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    std::uint32_t u = static_cast<std::uint32_t>(rng.next_u64());
+    unsigned d = static_cast<unsigned>(rng.uniform_u64(33));
+    std::uint32_t low = d >= 32 ? u : (u & ((std::uint32_t{1} << d) - 1));
+    std::uint32_t high = u ^ low;
+    EXPECT_EQ(negabinary_decode(u), negabinary_decode(low) + negabinary_decode(high));
+  }
+}
+
+TEST(Negabinary, LowBitsValueMatchesDefinition) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    std::uint32_t u = static_cast<std::uint32_t>(rng.next_u64());
+    unsigned d = static_cast<unsigned>(rng.uniform_u64(33));
+    std::uint32_t masked = d >= 32 ? 0 : (u & ~((std::uint32_t{1} << d) - 1));
+    EXPECT_EQ(negabinary_low_bits_value(u, d),
+              negabinary_decode(u) - negabinary_decode(masked));
+  }
+}
+
+TEST(Negabinary, UncertaintyClosedForm) {
+  // Paper: 2/3·2^d − 1/3 (odd d), 2/3·2^d − 2/3 (even d).
+  for (unsigned d = 1; d <= 32; ++d) {
+    std::int64_t expected =
+        (d & 1) ? (2 * (std::int64_t{1} << d) - 1) / 3
+                : (2 * (std::int64_t{1} << d) - 2) / 3;
+    EXPECT_EQ(negabinary_uncertainty(d), expected) << "d=" << d;
+  }
+  EXPECT_EQ(negabinary_uncertainty(0), 0);
+}
+
+TEST(Negabinary, UncertaintyBoundsLowBitsValue) {
+  Rng rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    std::uint32_t u = static_cast<std::uint32_t>(rng.next_u64());
+    unsigned d = static_cast<unsigned>(rng.uniform_u64(33));
+    std::int64_t v = negabinary_low_bits_value(u, d);
+    EXPECT_LE(std::abs(v), negabinary_uncertainty(d));
+  }
+}
+
+TEST(Negabinary, UncertaintySmallerThanSignMagnitude) {
+  // Paper §4.4.2: negabinary truncation uncertainty ≈ 2/3 of sign-magnitude's.
+  for (unsigned d = 2; d <= 30; ++d) {
+    std::int64_t sm = (std::int64_t{1} << d) - 1;
+    EXPECT_LT(negabinary_uncertainty(d), sm);
+  }
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,168 @@
+// Deeper invariants of progressive retrieval, parameterized across request
+// sequences: plan monotonicity, byte accounting, guarantee consistency, and
+// equivalence between request orderings.
+#include <gtest/gtest.h>
+
+#include "ipcomp.hpp"
+#include "mgard/mgard.hpp"
+#include "test_util.hpp"
+
+namespace ipcomp {
+namespace {
+
+using testutil::linf;
+using testutil::smooth_field;
+
+struct Fixture {
+  NdArray<double> field;
+  Bytes archive;
+  double eb;
+
+  explicit Fixture(std::uint64_t seed) : field(smooth_field(Dims{36, 24, 24}, seed, 0.08)) {
+    Options opt;
+    opt.error_bound = 1e-8;
+    opt.relative = false;
+    opt.progressive_threshold = 256;
+    eb = 1e-8;
+    archive = compress(field.const_view(), opt);
+  }
+};
+
+TEST(ProgressiveProperties, ByteAccountingAddsUpAcrossManyRequests) {
+  Fixture fx(51);
+  MemorySource src{Bytes(fx.archive)};
+  ProgressiveReader<double> reader(src);
+  std::size_t sum = 0;
+  for (double t : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7}) {
+    auto st = reader.request_error_bound(t);
+    sum += st.bytes_new;
+    EXPECT_EQ(st.bytes_total, sum);
+    EXPECT_EQ(reader.bytes_loaded(), sum);
+  }
+  auto full = reader.request_full();
+  sum += full.bytes_new;
+  EXPECT_EQ(full.bytes_total, sum);
+  EXPECT_LE(full.bytes_total, fx.archive.size());
+}
+
+TEST(ProgressiveProperties, ManySmallStepsEndAtSameStateAsOneBigStep) {
+  Fixture fx(52);
+  MemorySource a_src{Bytes(fx.archive)}, b_src{Bytes(fx.archive)};
+  ProgressiveReader<double> stepwise(a_src), oneshot(b_src);
+  for (double t : {1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 3e-5, 1e-5}) {
+    stepwise.request_error_bound(t);
+  }
+  stepwise.request_full();
+  oneshot.request_full();
+  // Full load ends in the identical plane state; outputs agree to rounding.
+  const double range = testutil::value_range(fx.field.const_view());
+  EXPECT_LE(linf(oneshot.data(), stepwise.data()), 1e-12 * range);
+  // And both hold the full-fidelity guarantee.
+  EXPECT_LE(linf(fx.field.const_view(), stepwise.data()), fx.eb * (1 + 1e-9));
+}
+
+TEST(ProgressiveProperties, InterleavedModeRequestsStayConsistent) {
+  Fixture fx(53);
+  MemorySource src{Bytes(fx.archive)};
+  ProgressiveReader<double> reader(src);
+  // Alternate EB-mode and bitrate-mode requests; invariants must hold at
+  // every step.
+  const std::size_t n = fx.field.count();
+  double prev_guarantee = std::numeric_limits<double>::infinity();
+  std::size_t prev_total = 0;
+  int step = 0;
+  for (auto [mode, value] : std::vector<std::pair<int, double>>{
+           {0, 1e-2}, {1, 6.0}, {0, 1e-4}, {1, 14.0}, {0, 1e-6}}) {
+    RetrievalStats st = mode == 0 ? reader.request_error_bound(value)
+                                  : reader.request_bitrate(value);
+    EXPECT_LE(st.guaranteed_error, prev_guarantee * (1 + 1e-12)) << "step " << step;
+    EXPECT_LE(linf(fx.field.const_view(), reader.data()),
+              st.guaranteed_error * (1 + 1e-9))
+        << "step " << step;
+    if (mode == 1) {
+      // Already-resident data cannot be unloaded: the budget constrains the
+      // cumulative total only when it exceeds what previous requests loaded.
+      const auto budget = static_cast<std::size_t>(value * n / 8) + 1;
+      EXPECT_LE(st.bytes_total, std::max(budget, prev_total)) << "step " << step;
+    }
+    prev_guarantee = st.guaranteed_error;
+    prev_total = st.bytes_total;
+    ++step;
+  }
+}
+
+TEST(ProgressiveProperties, GuaranteeMatchesRecomputedValue) {
+  Fixture fx(54);
+  MemorySource src{Bytes(fx.archive)};
+  ProgressiveReader<double> reader(src);
+  auto st = reader.request_error_bound(1e-4);
+  EXPECT_DOUBLE_EQ(st.guaranteed_error, reader.current_guaranteed_error());
+}
+
+TEST(ProgressiveProperties, TighterThresholdStillWithinBounds) {
+  // progressive_threshold changes which levels are bitplaned; the guarantees
+  // must be invariant to it.
+  auto field = smooth_field(Dims{30, 30, 15}, 55, 0.05);
+  for (std::size_t threshold : {std::size_t{1}, std::size_t{512}, std::size_t{1u << 20}}) {
+    Options opt;
+    opt.error_bound = 1e-7;
+    opt.relative = false;
+    opt.progressive_threshold = threshold;
+    Bytes archive = compress(field.const_view(), opt);
+    MemorySource src(std::move(archive));
+    ProgressiveReader<double> reader(src);
+    auto st = reader.request_error_bound(1e-3);
+    EXPECT_LE(st.guaranteed_error, 1e-3 * (1 + 1e-9)) << "threshold " << threshold;
+    EXPECT_LE(linf(field.const_view(), reader.data()), 1e-3 * (1 + 1e-9))
+        << "threshold " << threshold;
+    reader.request_full();
+    EXPECT_LE(linf(field.const_view(), reader.data()), 1e-7 * (1 + 1e-9))
+        << "threshold " << threshold;
+  }
+}
+
+TEST(ProgressiveProperties, AllSolidArchiveRetrievesExactlyOnce) {
+  // With an enormous threshold nothing is bitplaned: the archive behaves like
+  // a classic single-fidelity compressor but through the same API.
+  auto field = smooth_field(Dims{20, 20}, 56);
+  Options opt;
+  opt.error_bound = 1e-6;
+  opt.relative = false;
+  opt.progressive_threshold = 1u << 30;
+  Bytes archive = compress(field.const_view(), opt);
+  MemorySource src(std::move(archive));
+  ProgressiveReader<double> reader(src);
+  auto coarse = reader.request_error_bound(1e-1);
+  // Everything is mandatory: the coarse request already yields full quality.
+  EXPECT_LE(linf(field.const_view(), reader.data()), 1e-6 * (1 + 1e-9));
+  auto full = reader.request_full();
+  EXPECT_EQ(full.bytes_new, 0u);
+  EXPECT_EQ(coarse.bytes_total, full.bytes_total);
+}
+
+TEST(ProgressiveProperties, MgardPartialLevelsConverge) {
+  // Recomposing with coefficients of progressively more levels converges to
+  // the original.  L∞ error is NOT monotone at the coarse end (hierarchical
+  // interpolants can overshoot), so monotonicity is only asserted over the
+  // fine-level tail where coefficients decay on smooth data.
+  auto field = smooth_field(Dims{33, 31, 14}, 57, 0.02);
+  auto coeffs = mgard_decompose(field.const_view());
+  std::vector<double> errs;
+  for (std::size_t keep = 0; keep <= coeffs.size(); ++keep) {
+    // Zero out the finest `coeffs.size() - keep` levels (indices 0..).
+    auto partial = coeffs;
+    for (std::size_t li = 0; li + keep < coeffs.size(); ++li) {
+      std::fill(partial[li].begin(), partial[li].end(), 0.0);
+    }
+    auto recon = mgard_recompose(field.dims(), partial);
+    errs.push_back(linf(field.const_view(), recon));
+  }
+  EXPECT_LE(errs.back(), 1e-12);            // all levels -> exact
+  EXPECT_LT(errs.back(), errs.front());     // and far better than nothing
+  for (std::size_t keep = coeffs.size() / 2; keep < coeffs.size(); ++keep) {
+    EXPECT_LE(errs[keep + 1], errs[keep] * (1 + 1e-12)) << "keep " << keep;
+  }
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "quant/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+TEST(Quantizer, ErrorWithinBound) {
+  Rng rng(1);
+  const double eb = 1e-3;
+  LinearQuantizer q(eb);
+  for (int i = 0; i < 100000; ++i) {
+    double orig = rng.uniform(-100, 100);
+    double pred = orig + rng.uniform(-1, 1);
+    std::int64_t code;
+    double recon;
+    ASSERT_TRUE(q.quantize(orig, pred, code, recon));
+    EXPECT_LE(std::abs(recon - orig), eb * (1 + 1e-12));
+    EXPECT_DOUBLE_EQ(recon, q.dequantize(pred, code));
+  }
+}
+
+TEST(Quantizer, ZeroDiffGivesZeroCode) {
+  LinearQuantizer q(1e-6);
+  std::int64_t code;
+  double recon;
+  ASSERT_TRUE(q.quantize(5.0, 5.0, code, recon));
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(recon, 5.0);
+}
+
+TEST(Quantizer, LargeDiffIsOutlier) {
+  LinearQuantizer q(1e-12);
+  std::int64_t code;
+  double recon;
+  EXPECT_FALSE(q.quantize(1.0, 0.0, code, recon));  // 1/2e-12 >> 2^30
+}
+
+TEST(Quantizer, NonFiniteIsOutlier) {
+  LinearQuantizer q(1e-3);
+  std::int64_t code;
+  double recon;
+  EXPECT_FALSE(q.quantize(std::numeric_limits<double>::quiet_NaN(), 0.0, code, recon));
+  EXPECT_FALSE(q.quantize(std::numeric_limits<double>::infinity(), 0.0, code, recon));
+}
+
+TEST(Quantizer, CodesStayWithinCap) {
+  Rng rng(2);
+  const double eb = 1e-6;
+  LinearQuantizer q(eb);
+  for (int i = 0; i < 10000; ++i) {
+    double diff = rng.uniform(-1000, 1000);
+    std::int64_t code;
+    double recon;
+    if (q.quantize(diff, 0.0, code, recon)) {
+      EXPECT_LT(std::abs(code), LinearQuantizer::kCodeCap);
+    }
+  }
+}
+
+TEST(Quantizer, FloatReconstructionRespectsBound) {
+  Rng rng(3);
+  const double eb = 1e-4;
+  LinearQuantizer q(eb);
+  for (int i = 0; i < 50000; ++i) {
+    float orig = static_cast<float>(rng.uniform(-10, 10));
+    float pred = orig + static_cast<float>(rng.uniform(-0.1, 0.1));
+    std::int64_t code;
+    float recon;
+    if (q.quantize(orig, pred, code, recon)) {
+      EXPECT_LE(std::abs(static_cast<double>(recon) - static_cast<double>(orig)),
+                eb * (1 + 1e-7));
+    }
+  }
+}
+
+TEST(Quantizer, StepIsTwiceEb) {
+  LinearQuantizer q(0.25);
+  EXPECT_EQ(q.step(), 0.5);
+  EXPECT_EQ(q.error_bound(), 0.25);
+}
+
+TEST(Quantizer, RoundsToNearestBin) {
+  LinearQuantizer q(1.0);  // bins of width 2 centered on even integers
+  std::int64_t code;
+  double recon;
+  ASSERT_TRUE(q.quantize(2.9, 0.0, code, recon));
+  EXPECT_EQ(code, 1);  // 2.9/2 = 1.45 -> 1
+  ASSERT_TRUE(q.quantize(3.1, 0.0, code, recon));
+  EXPECT_EQ(code, 2);  // 3.1/2 = 1.55 -> 2
+  ASSERT_TRUE(q.quantize(-2.9, 0.0, code, recon));
+  EXPECT_EQ(code, -1);
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/archive.hpp"
+#include "metrics/report.hpp"
+
+namespace ipcomp {
+namespace {
+
+TEST(Report, NumberFormatting) {
+  EXPECT_EQ(TableReporter::num(3.14159, 3), "3.14");
+  EXPECT_EQ(TableReporter::num(42.0, 4), "42");
+  EXPECT_EQ(TableReporter::sci(0.000123, 2), "1.23e-04");
+}
+
+TEST(Report, CsvMirrorsRows) {
+  std::string path = ::testing::TempDir() + "/ipcomp_report.csv";
+  {
+    TableReporter table({"a", "b"}, path);
+    table.row({"1", "x"});
+    table.row({"2", "y"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,x\n2,y\n");
+  std::remove(path.c_str());
+}
+
+TEST(Report, NoCsvWhenPathEmpty) {
+  // Just exercises the console-only path.
+  TableReporter table({"col"});
+  table.row({"value"});
+}
+
+}  // namespace
+}  // namespace ipcomp

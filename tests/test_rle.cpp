@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "coding/rle.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+void round_trip(const Bytes& input) {
+  Bytes enc = rle_encode({input.data(), input.size()});
+  Bytes dec = rle_decode({enc.data(), enc.size()}, input.size());
+  EXPECT_EQ(dec, input);
+}
+
+TEST(Rle, Empty) { round_trip({}); }
+
+TEST(Rle, AllZeros) {
+  round_trip(Bytes(1000, 0));
+  Bytes enc = rle_encode(Bytes(1000, 0));
+  EXPECT_LT(enc.size(), 4u);  // one varint
+}
+
+TEST(Rle, NoZeros) { round_trip(Bytes(100, 0xAB)); }
+
+TEST(Rle, Alternating) {
+  Bytes in;
+  for (int i = 0; i < 500; ++i) {
+    in.push_back(0);
+    in.push_back(static_cast<std::uint8_t>(i));
+  }
+  round_trip(in);
+}
+
+TEST(Rle, TrailingZeros) {
+  Bytes in = {1, 2, 3};
+  in.resize(100, 0);
+  round_trip(in);
+}
+
+TEST(Rle, LeadingZeros) {
+  Bytes in(100, 0);
+  in.push_back(9);
+  round_trip(in);
+}
+
+TEST(Rle, SparseCompressesWell) {
+  Rng rng(3);
+  Bytes in(100000, 0);
+  for (int i = 0; i < 100; ++i) {
+    in[rng.uniform_u64(in.size())] = static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+  }
+  Bytes enc = rle_encode({in.data(), in.size()});
+  EXPECT_LT(enc.size(), in.size() / 50);
+  round_trip(in);
+}
+
+TEST(Rle, RandomDense) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes in(1 + rng.uniform_u64(2048));
+    for (auto& b : in) b = static_cast<std::uint8_t>(rng.uniform_u64(4));  // zero-rich
+    round_trip(in);
+  }
+}
+
+TEST(Rle, DecodeRejectsOverflowingRun) {
+  // Encode 10 zeros but ask to decode only 5.
+  Bytes enc = rle_encode(Bytes(10, 0));
+  EXPECT_THROW(rle_decode({enc.data(), enc.size()}, 5), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ipcomp

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "transform/zfp.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+using testutil::linf;
+using testutil::smooth_field;
+using namespace zfp_detail;
+
+TEST(ZfpLift, ForwardInverseNearIdentity) {
+  // The lifting steps lose at most the LSBs to the >>1 shifts; round-tripping
+  // must agree within a few units in the last place.
+  Rng rng(1);
+  for (int trial = 0; trial < 10000; ++trial) {
+    std::int64_t v[4], orig[4];
+    for (int i = 0; i < 4; ++i) {
+      orig[i] = v[i] = static_cast<std::int64_t>(rng.next_u64() >> 12) -
+                       (1ll << 51);
+    }
+    fwd_lift(v, 1);
+    inv_lift(v, 1);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_LE(std::abs(v[i] - orig[i]), 4) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ZfpLift, DecorrelatesSmoothRamp) {
+  // On a linear ramp the transform concentrates energy in the DC coefficient.
+  std::int64_t v[4] = {1000, 2000, 3000, 4000};
+  fwd_lift(v, 1);
+  EXPECT_GT(std::abs(v[0]), std::abs(v[2]));
+  EXPECT_GT(std::abs(v[0]), std::abs(v[3]));
+}
+
+TEST(ZfpNegabinary64, RoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    std::int64_t v = static_cast<std::int64_t>(rng.next_u64() >> 2) - (1ll << 61);
+    EXPECT_EQ(nb64_decode(nb64_encode(v)), v);
+  }
+  EXPECT_EQ(nb64_decode(nb64_encode(0)), 0);
+  EXPECT_EQ(nb64_encode(0), 0u);
+}
+
+struct ZfpCase {
+  Dims dims;
+  double tol;
+};
+
+class ZfpAccuracy : public ::testing::TestWithParam<ZfpCase> {};
+
+TEST_P(ZfpAccuracy, ErrorWithinTolerance) {
+  const auto& c = GetParam();
+  auto field = smooth_field(c.dims, 7, /*noise=*/0.1);
+  ZfpCompressor zfp;
+  Bytes archive = zfp.compress(field.const_view(), c.tol);
+  auto recon = zfp.decompress(archive);
+  EXPECT_LE(linf(field.const_view(), recon), c.tol);
+  EXPECT_EQ(ZfpCompressor::archive_dims(archive), c.dims);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ZfpAccuracy,
+    ::testing::Values(ZfpCase{Dims{256}, 1e-3}, ZfpCase{Dims{1000}, 1e-6},
+                      ZfpCase{Dims{3}, 1e-4}, ZfpCase{Dims{64, 64}, 1e-4},
+                      ZfpCase{Dims{33, 65}, 1e-8}, ZfpCase{Dims{16, 16, 16}, 1e-2},
+                      ZfpCase{Dims{31, 17, 23}, 1e-6},
+                      ZfpCase{Dims{40, 40, 40}, 1e-10}),
+    [](const auto& info) {
+      std::string s = info.param.dims.to_string() + "_tol" +
+                      std::to_string(static_cast<int>(-std::log10(info.param.tol)));
+      for (auto& ch : s) {
+        if (ch == 'x') ch = '_';
+      }
+      return s;
+    });
+
+TEST(Zfp, SmoothDataCompresses) {
+  auto field = smooth_field(Dims{64, 64, 64}, 8, /*noise=*/0.0);
+  ZfpCompressor zfp;
+  Bytes archive = zfp.compress(field.const_view(), 1e-4);
+  double ratio = static_cast<double>(field.count() * 8) / archive.size();
+  EXPECT_GT(ratio, 8.0);
+}
+
+TEST(Zfp, AllZeroBlockCollapses) {
+  NdArray<double> field(Dims{64, 64});
+  ZfpCompressor zfp;
+  Bytes archive = zfp.compress(field.const_view(), 1e-6);
+  // 256 blocks, one flag bit each, plus the header.
+  EXPECT_LT(archive.size(), 200u);
+  auto recon = zfp.decompress(archive);
+  for (double v : recon) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Zfp, TinyValuesBelowToleranceVanish) {
+  NdArray<double> field(Dims{32, 32});
+  for (std::size_t i = 0; i < field.count(); ++i) field[i] = 1e-9;
+  ZfpCompressor zfp;
+  Bytes archive = zfp.compress(field.const_view(), 1e-3);
+  auto recon = zfp.decompress(archive);
+  EXPECT_LE(linf(field.const_view(), recon), 1e-3);
+}
+
+TEST(Zfp, LooserToleranceSmallerArchive) {
+  auto field = smooth_field(Dims{48, 48, 48}, 9, 0.05);
+  ZfpCompressor zfp;
+  auto tight = zfp.compress(field.const_view(), 1e-9);
+  auto loose = zfp.compress(field.const_view(), 1e-3);
+  EXPECT_LT(loose.size(), tight.size());
+}
+
+TEST(Zfp, WideDynamicRange) {
+  Rng rng(10);
+  NdArray<double> field(Dims{24, 24, 24});
+  for (std::size_t i = 0; i < field.count(); ++i) {
+    field[i] = rng.normal() * std::pow(10.0, rng.uniform(-6, 6));
+  }
+  ZfpCompressor zfp;
+  const double tol = 1e-3;
+  Bytes archive = zfp.compress(field.const_view(), tol);
+  auto recon = zfp.decompress(archive);
+  EXPECT_LE(linf(field.const_view(), recon), tol);
+}
+
+TEST(Zfp, RejectsNonPositiveTolerance) {
+  auto field = smooth_field(Dims{8, 8}, 11);
+  ZfpCompressor zfp;
+  EXPECT_THROW(zfp.compress(field.const_view(), 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipcomp
