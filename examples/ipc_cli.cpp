@@ -44,11 +44,14 @@ struct Args {
       std::string s = argv[i];
       if (s.rfind("--", 0) == 0) {
         std::string key = s.substr(2);
+        // insert_or_assign with an explicit std::string temporary sidesteps a
+        // GCC 12 -Wrestrict false positive (PR 105329) in the inlined
+        // mapped_type::operator=(const char*), which -Werror turns fatal.
         if (key == "abs" || key == "full") {
-          a.flags[key] = "1";
+          a.flags.insert_or_assign(key, std::string("1"));
         } else {
           if (i + 1 >= argc) usage("missing value for --" + key);
-          a.flags[key] = argv[++i];
+          a.flags.insert_or_assign(key, std::string(argv[++i]));
         }
       } else {
         a.positional.push_back(s);

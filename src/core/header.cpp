@@ -43,6 +43,9 @@ Header Header::parse(const Bytes& raw) {
   h.data_min = r.f64();
   h.data_max = r.f64();
   std::size_t n_levels = r.varint();
+  // Each level encodes to at least 5 bytes; a count beyond that is a forged
+  // stream and must not drive the resize() allocation below.
+  if (n_levels > r.remaining() / 5) throw std::runtime_error("header: bad level count");
   h.levels.resize(n_levels);
   for (LevelHeader& l : h.levels) {
     l.count = r.varint();

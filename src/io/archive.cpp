@@ -39,6 +39,9 @@ ArchiveIndex ArchiveIndex::parse(std::span<const std::uint8_t> head_bytes,
   // Skip over the header payload to reach the segment table.
   r.bytes(idx.header_length);
   std::size_t count = r.varint();
+  // Each table row encodes to at least 9 bytes (u64 key + 1-byte varint); a
+  // forged count must not drive the reserve() allocation below.
+  if (count > r.remaining() / 9) throw std::runtime_error("archive: bad segment count");
   std::vector<std::pair<std::uint64_t, std::size_t>> lengths;
   lengths.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -48,10 +51,11 @@ ArchiveIndex ArchiveIndex::parse(std::span<const std::uint8_t> head_bytes,
   }
   std::size_t offset = r.position();
   for (auto [key, len] : lengths) {
+    // Checked per entry so a huge forged len cannot wrap offset += len.
+    if (len > total_size - offset) throw std::runtime_error("archive: truncated");
     idx.entries[key] = Entry{key, offset, len};
     offset += len;
   }
-  if (offset > total_size) throw std::runtime_error("archive: truncated");
   return idx;
 }
 

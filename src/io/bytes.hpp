@@ -132,11 +132,16 @@ class ByteReader {
     int shift = 0;
     while (true) {
       require(1);
-      std::uint8_t b = data_[pos_++];
-      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      const std::uint8_t b = data_[pos_++];
+      const std::uint64_t payload = b & 0x7F;
+      // Reject payload bits that do not fit in 64 bits: at shift 63 only the
+      // lowest payload bit is representable, and an 11th byte never is.
+      if (shift >= 64 || (shift > 57 && (payload >> (64 - shift)) != 0)) {
+        throw std::runtime_error("ByteReader: varint overflow");
+      }
+      v |= payload << shift;
       if (!(b & 0x80)) break;
       shift += 7;
-      if (shift >= 64) throw std::runtime_error("ByteReader: varint overflow");
     }
     return v;
   }
@@ -165,7 +170,9 @@ class ByteReader {
 
  private:
   void require(std::size_t n) const {
-    if (pos_ + n > data_.size()) {
+    // Written as a subtraction so a huge forged n cannot wrap the addition
+    // pos_ + n and sneak past the check (pos_ <= size() is an invariant).
+    if (n > data_.size() - pos_) {
       throw std::runtime_error("ByteReader: out of data");
     }
   }

@@ -105,7 +105,9 @@ struct BlockCodec {
       std::uint64_t x = 0;
       for (unsigned i = 0; i < size; ++i) x |= ((nb[i] >> k) & 1u) << i;
       bw.put_bits(x, n);
-      x >>= n;
+      // n reaches 64 once every sample in a 3D block is significant; a plain
+      // x >>= n would then be UB (shift by the full width).
+      x = (n < 64) ? (x >> n) : 0;
       unsigned m = n;
       // Unary run-length encoding of the significance frontier.
       while (m < size) {

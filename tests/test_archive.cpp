@@ -71,6 +71,34 @@ TEST(Archive, CorruptMagicRejected) {
   EXPECT_THROW(MemorySource src(std::move(blob)), std::runtime_error);
 }
 
+TEST(Archive, ForgedSegmentCountRejected) {
+  ArchiveBuilder b;
+  b.set_header({});
+  Bytes blob = b.finish();
+  // The segment-count varint is the final byte of a segmentless archive;
+  // replace it with a huge ten-byte varint.  The parser must throw instead
+  // of letting the count drive a multi-terabyte reserve().
+  ASSERT_EQ(blob.back(), 0x00);
+  blob.pop_back();
+  blob.insert(blob.end(), 9, 0xFF);
+  blob.push_back(0x01);
+  EXPECT_THROW(MemorySource src(std::move(blob)), std::runtime_error);
+}
+
+TEST(Archive, ForgedSegmentLengthRejected) {
+  ArchiveBuilder b;
+  b.set_header({});
+  b.add_segment({0, 1, 0}, make_payload(4, 0xCD));
+  Bytes blob = b.finish();
+  // Single 4-byte segment: the length varint is the byte before the payload.
+  ASSERT_EQ(blob[blob.size() - 5], 0x04);
+  Bytes forged(blob.begin(), blob.end() - 5);
+  forged.insert(forged.end(), 9, 0xFF);
+  forged.push_back(0x01);  // len ~ 2^63: offset += len would wrap
+  forged.insert(forged.end(), blob.end() - 4, blob.end());
+  EXPECT_THROW(MemorySource src(std::move(forged)), std::runtime_error);
+}
+
 TEST(Archive, FileSourceMatchesMemorySource) {
   Rng rng(8);
   ArchiveBuilder b;

@@ -72,6 +72,54 @@ TEST(Bytes, VarintRandomRoundTrip) {
   for (auto v : vals) EXPECT_EQ(r.varint(), v);
 }
 
+TEST(Bytes, ForgedHugeLengthStringThrows) {
+  // A crafted archive can store a length varint near SIZE_MAX; the reader
+  // must reject it instead of wrapping pos_ + n and reading out of bounds.
+  ByteWriter w;
+  w.u8(0x42);  // advance pos_ past zero so the old pos_ + n check could wrap
+  w.varint(std::numeric_limits<std::uint64_t>::max());
+  w.u8('x');
+  Bytes b = w.take();
+  ByteReader r({b.data(), b.size()});
+  EXPECT_EQ(r.u8(), 0x42);
+  EXPECT_THROW(r.string(), std::runtime_error);
+}
+
+TEST(Bytes, ForgedHugeLengthBytesThrows) {
+  Bytes b = {1, 2, 3, 4};
+  ByteReader r({b.data(), b.size()});
+  r.u16();  // pos_ = 2, so pos_ + SIZE_MAX wraps to 1 and passes the old check
+  EXPECT_THROW(r.bytes(std::numeric_limits<std::size_t>::max()),
+               std::runtime_error);
+  EXPECT_THROW(r.bytes(std::numeric_limits<std::size_t>::max() - 1),
+               std::runtime_error);
+  // The reader must still be usable after a rejected read.
+  EXPECT_EQ(r.bytes(2).size(), 2u);
+}
+
+TEST(Bytes, OverlongVarintFinalByteThrows) {
+  // Ten-byte varint whose final byte carries payload bits that do not fit in
+  // 64 bits.  The old reader computed (b & 0x7F) << 63 and silently dropped
+  // bits 1..6, decoding a wrong value instead of rejecting the stream.
+  auto decode = [](std::uint8_t last) {
+    Bytes b(9, 0x80);  // nine continuation bytes, payload 0
+    b.push_back(last);
+    ByteReader r({b.data(), b.size()});
+    return r.varint();
+  };
+  EXPECT_EQ(decode(0x01), std::uint64_t{1} << 63);  // bit 0 still fits
+  EXPECT_THROW(decode(0x02), std::runtime_error);
+  EXPECT_THROW(decode(0x7F), std::runtime_error);
+  EXPECT_THROW(decode(0x7E), std::runtime_error);
+}
+
+TEST(Bytes, VarintEleventhByteThrows) {
+  Bytes b(10, 0x80);
+  b.push_back(0x00);
+  ByteReader r({b.data(), b.size()});
+  EXPECT_THROW(r.varint(), std::runtime_error);
+}
+
 TEST(Bytes, StringRoundTrip) {
   ByteWriter w;
   w.string("hello");

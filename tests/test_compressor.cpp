@@ -185,6 +185,26 @@ TEST(Compressor, HeaderDescribesArchive) {
   EXPECT_EQ(total, field.count());
 }
 
+TEST(Compressor, HeaderForgedLevelCountRejected) {
+  Header h;
+  h.dtype = DataType::kFloat64;
+  h.dims = Dims{8};
+  h.eb = 1e-6;
+  h.interp = InterpKind::kCubic;
+  h.prefix_bits = 0;
+  h.data_min = 0.0;
+  h.data_max = 1.0;
+  Bytes raw = h.serialize();
+  // With zero levels the level-count varint is the final byte; replace it
+  // with a huge ten-byte varint.  parse() must reject the count instead of
+  // letting it drive a multi-terabyte resize().
+  ASSERT_EQ(raw.back(), 0x00);
+  raw.pop_back();
+  raw.insert(raw.end(), 9, 0xFF);
+  raw.push_back(0x01);
+  EXPECT_THROW(Header::parse(raw), std::runtime_error);
+}
+
 TEST(Compressor, HeaderSerializationRoundTrip) {
   Header h;
   h.dtype = DataType::kFloat32;

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "bitplane/negabinary.hpp"
 #include "util/rng.hpp"
 
@@ -86,6 +89,39 @@ TEST(Negabinary, UncertaintyBoundsLowBitsValue) {
     unsigned d = static_cast<unsigned>(rng.uniform_u64(33));
     std::int64_t v = negabinary_low_bits_value(u, d);
     EXPECT_LE(std::abs(v), negabinary_uncertainty(d));
+  }
+}
+
+TEST(Negabinary, LowBitsValueAllPlanes) {
+  // d >= 32 keeps every plane, so the "low bits" are the whole value.
+  const std::uint32_t cases[] = {0u, 1u, 3u, kNegabinaryMask, 0x55555555u,
+                                 0xFFFFFFFFu, 0xDEADBEEFu};
+  for (std::uint32_t u : cases) {
+    EXPECT_EQ(negabinary_low_bits_value(u, 32), negabinary_decode(u));
+    EXPECT_EQ(negabinary_low_bits_value(u, 33), negabinary_decode(u));
+    EXPECT_EQ(negabinary_low_bits_value(u, 100), negabinary_decode(u));
+  }
+}
+
+TEST(Negabinary, LowBitsValueAtRangeLimits) {
+  const std::uint32_t umax = negabinary_encode(kNegabinaryMax);
+  const std::uint32_t umin = negabinary_encode(kNegabinaryMin);
+  EXPECT_EQ(negabinary_low_bits_value(umax, 32), kNegabinaryMax);
+  EXPECT_EQ(negabinary_low_bits_value(umin, 32), kNegabinaryMin);
+  // Dropping all planes contributes nothing; keeping one keeps only b0.
+  EXPECT_EQ(negabinary_low_bits_value(umax, 0), 0);
+  EXPECT_EQ(negabinary_low_bits_value(umax, 1), 1);  // 0x55555555 has b0 = 1
+  EXPECT_EQ(negabinary_low_bits_value(umin, 1), 0);  // 0xAAAAAAAA has b0 = 0
+}
+
+TEST(Negabinary, UncertaintyMatchesExhaustiveLowPlaneSearch) {
+  // For small d, check the closed form against brute force over all patterns.
+  for (unsigned d = 1; d <= 12; ++d) {
+    std::int64_t worst = 0;
+    for (std::uint32_t u = 0; u < (std::uint32_t{1} << d); ++u) {
+      worst = std::max(worst, std::abs(negabinary_low_bits_value(u, d)));
+    }
+    EXPECT_EQ(negabinary_uncertainty(d), worst) << "d=" << d;
   }
 }
 
