@@ -2,14 +2,43 @@
 // two settings — eb = 1e-9 (high precision, panel a) and 1e-6 (high ratio,
 // panel b), both relative to the value range.  Higher is better; IPComp
 // should lead on (nearly) every dataset.
+//
+// `--json <path>` additionally writes every (eb, dataset, compressor) ratio
+// as JSON; CI merges this into the BENCH_ci.json artifact so the repo keeps
+// a compression-ratio trajectory.  The JSON run also includes the block-
+// decomposed IPComp variant (IPComp-B32) to track the ratio cost of blocking.
+#include <cstring>
+
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ipcomp;
   using namespace ipcomp::bench;
+
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+
   banner("Compression ratio", "paper Fig. 5");
 
   auto lineup = evaluation_lineup();
+  lineup.push_back(ipcomp_block_variant());
+
+  std::FILE* json = nullptr;
+  if (json_path) {
+    json = std::fopen(json_path, "w");
+    if (!json) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(json, "{\n  \"bench\": \"fig5_compression_ratio\",\n");
+    std::fprintf(json, "  \"scale\": \"%s\",\n  \"results\": [", scale_name());
+  }
+  bool first_row = true;
+
   for (double rel_eb : {1e-9, 1e-6}) {
     std::printf("--- eb = %.0e x range (%s) ---\n", rel_eb,
                 rel_eb == 1e-9 ? "high precision, Fig. 5a" : "high ratio, Fig. 5b");
@@ -23,11 +52,25 @@ int main() {
       std::vector<std::string> row = {spec.name};
       for (auto& c : lineup) {
         Bytes archive = c->compress(data.const_view(), eb);
-        row.push_back(TableReporter::num(compression_ratio(raw, archive.size()), 4));
+        const double ratio = compression_ratio(raw, archive.size());
+        row.push_back(TableReporter::num(ratio, 4));
+        if (json) {
+          std::fprintf(json,
+                       "%s\n    {\"eb_relative\": %.0e, \"dataset\": \"%s\", "
+                       "\"compressor\": \"%s\", \"ratio\": %.4f}",
+                       first_row ? "" : ",", rel_eb, spec.name.c_str(),
+                       c->name().c_str(), ratio);
+          first_row = false;
+        }
       }
       table.row(row);
     }
     std::printf("\n");
+  }
+  if (json) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path);
   }
   std::printf("Expected shape: IPComp >= all baselines; SZ3-M lowest "
               "(stores 9 independent outputs); PMGARD low (precision-complete "

@@ -5,9 +5,26 @@
 //
 // PMGARD compresses losslessly by design, so its compression numbers are not
 // eb-comparable (the paper notes the same caveat).
+//
+// Block-compare mode (`--block-compare`, or `--json <path>` which also writes
+// the measurements as JSON for CI's BENCH_ci.json artifact) skips the
+// google-benchmark lineup and instead times the block-decomposed pipeline
+// against the legacy whole-field path on one fixed synthetic field:
+//   IPCOMP_BENCH_SIDE  cubic field side (default 256)
+//   IPCOMP_BENCH_BLOCK block side (default side/4)
+//   IPCOMP_BENCH_REPS  repetitions, best-of (default 3)
+// Run with OMP_NUM_THREADS=4 to reproduce the >=2x speedup claim.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstring>
+#include <string>
+
 #include "bench_common.hpp"
+#include "core/compressor.hpp"
+#include "core/progressive_reader.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -48,9 +65,154 @@ void bm_decompress(benchmark::State& state,
   state.counters["passes"] = passes;
 }
 
+// ---- block-compare mode --------------------------------------------------
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) : fallback;
+}
+
+NdArray<double> synthetic_cube(std::size_t side) {
+  NdArray<double> field(Dims{side, side, side});
+  const double inv = 1.0 / static_cast<double>(side);
+  parallel_for(0, side, [&](std::size_t z) {
+    double* plane = field.data() + z * side * side;
+    const double fz = std::sin(6.9 * static_cast<double>(z) * inv);
+    for (std::size_t y = 0; y < side; ++y) {
+      const double fy = std::cos(4.3 * static_cast<double>(y) * inv);
+      for (std::size_t x = 0; x < side; ++x) {
+        plane[y * side + x] =
+            fz + fy + std::sin(11.7 * static_cast<double>(x) * inv) +
+            0.2 * std::sin(37.0 * static_cast<double>(x + y + z) * inv);
+      }
+    }
+  }, /*grain=*/1);
+  return field;
+}
+
+struct StageResult {
+  double seconds = 0.0;
+  double mb_per_s = 0.0;
+};
+
+template <typename Fn>
+StageResult best_of(int reps, std::size_t raw_bytes, Fn&& fn) {
+  StageResult r;
+  r.seconds = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    r.seconds = std::min(r.seconds, t.seconds());
+  }
+  r.mb_per_s = mb_per_s(raw_bytes, r.seconds);
+  return r;
+}
+
+int block_compare(const char* json_path) {
+  const std::size_t side = env_size("IPCOMP_BENCH_SIDE", 256);
+  const std::size_t block = env_size("IPCOMP_BENCH_BLOCK", side / 4);
+  const int reps = static_cast<int>(env_size("IPCOMP_BENCH_REPS", 3));
+  std::printf("=== Block-parallel vs legacy whole-field IPComp ===\n");
+  std::printf("field %zux%zux%zu f64, block side %zu, threads %d, best of %d\n",
+              side, side, side, block, thread_count(), reps);
+
+  NdArray<double> field = synthetic_cube(side);
+  const std::size_t raw = field.count() * sizeof(double);
+
+  Options legacy;
+  legacy.error_bound = 1e-6;  // relative to range
+  Options blocked = legacy;
+  blocked.block_side = block;
+
+  Bytes archive_legacy, archive_block;
+  StageResult c_legacy = best_of(reps, raw, [&] {
+    archive_legacy = compress(field.const_view(), legacy);
+  });
+  StageResult c_block = best_of(reps, raw, [&] {
+    archive_block = compress(field.const_view(), blocked);
+  });
+  double sink = 0.0;
+  StageResult d_legacy = best_of(reps, raw, [&] {
+    MemorySource src{Bytes(archive_legacy)};
+    ProgressiveReader<double> reader(src);
+    reader.request_full();
+    sink += reader.data()[0];
+  });
+  StageResult d_block = best_of(reps, raw, [&] {
+    MemorySource src{Bytes(archive_block)};
+    ProgressiveReader<double> reader(src);
+    reader.request_full();
+    sink += reader.data()[0];
+  });
+  if (!std::isfinite(sink)) std::printf("unreachable\n");
+
+  const double ratio_legacy = static_cast<double>(raw) /
+                              static_cast<double>(archive_legacy.size());
+  const double ratio_block = static_cast<double>(raw) /
+                             static_cast<double>(archive_block.size());
+  const double speedup_c = c_legacy.seconds / c_block.seconds;
+  const double speedup_d = d_legacy.seconds / d_block.seconds;
+
+  std::printf("\n%-20s %12s %12s\n", "stage", "seconds", "MB/s");
+  std::printf("%-20s %12.3f %12.1f\n", "compress legacy", c_legacy.seconds,
+              c_legacy.mb_per_s);
+  std::printf("%-20s %12.3f %12.1f\n", "compress block", c_block.seconds,
+              c_block.mb_per_s);
+  std::printf("%-20s %12.3f %12.1f\n", "decompress legacy", d_legacy.seconds,
+              d_legacy.mb_per_s);
+  std::printf("%-20s %12.3f %12.1f\n", "decompress block", d_block.seconds,
+              d_block.mb_per_s);
+  std::printf("\nratio: legacy %.2f, block %.2f\n", ratio_legacy, ratio_block);
+  std::printf("speedup at %d threads: compress %.2fx, decompress %.2fx\n",
+              thread_count(), speedup_c, speedup_d);
+  std::printf("(target: >=2x compression speedup at 4 threads, >=256^3)\n");
+
+  if (json_path) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"fig8_speed\",\n"
+                 "  \"field\": {\"dims\": \"%zux%zux%zu\", \"dtype\": \"f64\","
+                 " \"bytes\": %zu},\n"
+                 "  \"threads\": %d,\n"
+                 "  \"block_side\": %zu,\n"
+                 "  \"eb_relative\": 1e-6,\n"
+                 "  \"stages\": {\n"
+                 "    \"compress_legacy\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
+                 "    \"compress_block\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
+                 "    \"decompress_legacy\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
+                 "    \"decompress_block\": {\"seconds\": %.6f, \"mb_per_s\": %.2f}\n"
+                 "  },\n"
+                 "  \"compression_ratio\": {\"legacy\": %.4f, \"block\": %.4f},\n"
+                 "  \"speedup\": {\"compress\": %.4f, \"decompress\": %.4f}\n"
+                 "}\n",
+                 side, side, side, raw, thread_count(), block,
+                 c_legacy.seconds, c_legacy.mb_per_s, c_block.seconds,
+                 c_block.mb_per_s, d_legacy.seconds, d_legacy.mb_per_s,
+                 d_block.seconds, d_block.mb_per_s, ratio_legacy, ratio_block,
+                 speedup_c, speedup_d);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--block-compare") == 0) {
+      return block_compare(nullptr);
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return block_compare(argv[i + 1]);
+    }
+  }
+
   banner("Compression / decompression speed", "paper Fig. 8");
   for (const auto& spec : datasets()) {
     for (auto& comp : speed_lineup()) {

@@ -1,12 +1,17 @@
 // ipc — command-line front end for IPComp archives.
 //
 //   ipc compress <input.raw> <output.ipc> --dims ZxYxX [--type f64|f32]
-//                [--eb 1e-6] [--abs] [--interp cubic|linear]
-//   ipc retrieve <archive.ipc> <output.raw> (--eb E | --bitrate B | --full)
+//                [--eb 1e-6] [--abs] [--interp cubic|linear] [--block-side N]
+//   ipc retrieve <archive.ipc> <output.raw>
+//                (--eb E | --bitrate B | --full | --region z0:z1xy0:y1xx0:x1)
 //   ipc info     <archive.ipc>
 //   ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]
 //
 // Raw files are dense row-major little-endian arrays (SDRBench layout).
+// --block-side N compresses in independent N^d blocks (archive format v2):
+// compression parallelizes across blocks and --region retrieves a sub-box by
+// reading only the blocks that intersect it.
+#include <array>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -27,8 +32,9 @@ using namespace ipcomp;
   std::cerr <<
       "usage:\n"
       "  ipc compress <input.raw> <output.ipc> --dims ZxYxX [--type f64|f32]\n"
-      "               [--eb 1e-6] [--abs] [--interp cubic|linear]\n"
-      "  ipc retrieve <archive.ipc> <output.raw> (--eb E | --bitrate B | --full)\n"
+      "               [--eb 1e-6] [--abs] [--interp cubic|linear] [--block-side N]\n"
+      "  ipc retrieve <archive.ipc> <output.raw>\n"
+      "               (--eb E | --bitrate B | --full | --region z0:z1xy0:y1xx0:x1)\n"
       "  ipc info     <archive.ipc>\n"
       "  ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]\n";
   std::exit(2);
@@ -66,6 +72,29 @@ struct Args {
     return it->second;
   }
 };
+
+/// Parse a half-open region spec "lo:hi" per dimension, 'x'-separated, e.g.
+/// "0:64x32:96x0:128".  Must have one lo:hi pair per archive dimension.
+std::pair<std::array<std::size_t, kMaxRank>, std::array<std::size_t, kMaxRank>>
+parse_region(const std::string& spec, std::size_t rank) {
+  std::array<std::size_t, kMaxRank> lo{}, hi{};
+  std::size_t dim = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    if (dim >= rank) usage("too many dimensions in --region");
+    std::size_t next = spec.find('x', pos);
+    std::string part = spec.substr(pos, next == std::string::npos ? next : next - pos);
+    std::size_t colon = part.find(':');
+    if (colon == std::string::npos) usage("--region wants lo:hi per dimension");
+    lo[dim] = std::stoull(part.substr(0, colon));
+    hi[dim] = std::stoull(part.substr(colon + 1));
+    ++dim;
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  if (dim != rank) usage("--region must name all archive dimensions");
+  return {lo, hi};
+}
 
 Dims parse_dims(const std::string& spec) {
   std::size_t extents[kMaxRank];
@@ -113,6 +142,7 @@ int do_compress(const Args& a) {
   opt.interp = a.get("interp") == std::optional<std::string>("linear")
                    ? InterpKind::kLinear
                    : InterpKind::kCubic;
+  opt.block_side = a.get("block-side") ? std::stoull(*a.get("block-side")) : 0;
   Bytes archive = compress(NdConstView<T>(values.data(), dims), opt);
   write_file(a.positional[1], archive);
 
@@ -136,8 +166,12 @@ int do_retrieve(const Args& a) {
     st = reader.request_error_bound(std::stod(*a.get("eb")));
   } else if (a.get("bitrate")) {
     st = reader.request_bitrate(std::stod(*a.get("bitrate")));
+  } else if (a.get("region")) {
+    auto [lo, hi] =
+        parse_region(*a.get("region"), reader.header().dims.rank());
+    st = reader.request_region(lo, hi);
   } else {
-    usage("retrieve needs --eb, --bitrate or --full");
+    usage("retrieve needs --eb, --bitrate, --full or --region");
   }
   write_raw<T>(a.positional[1], reader.data());
   std::cout << "retrieved " << reader.header().dims.to_string() << ": loaded "
@@ -158,8 +192,22 @@ int do_info(const Args& a) {
             << "prefix bits : " << h.prefix_bits << "\n"
             << "value range : [" << TableReporter::num(h.data_min, 6) << ", "
             << TableReporter::num(h.data_max, 6) << "]\n"
-            << "archive size: " << src.total_size() << " bytes\n"
-            << "levels      :\n";
+            << "archive size: " << src.total_size() << " bytes\n";
+  if (h.block_side != 0) {
+    std::uint64_t outliers = 0, values = 0;
+    for (const auto& bl : h.block_levels) {
+      for (const auto& l : bl) {
+        outliers += l.outlier_count;
+        values += l.count;
+      }
+    }
+    std::cout << "block side  : " << h.block_side << " ("
+              << h.block_levels.size() << " blocks, format v2)\n"
+              << "values      : " << values << " (" << outliers
+              << " outliers)\n";
+    return 0;
+  }
+  std::cout << "levels      :\n";
   for (std::size_t li = h.levels.size(); li-- > 0;) {
     const auto& l = h.levels[li];
     std::cout << "  level " << li + 1 << ": " << l.count << " values, "

@@ -62,10 +62,18 @@ std::vector<std::shared_ptr<ProgressiveCompressor>> evaluation_lineup() {
   };
 }
 
+std::shared_ptr<ProgressiveCompressor> ipcomp_block_variant() {
+  Options opt;
+  opt.block_side = 32;
+  return std::make_shared<IpcompAdapter>(opt, ReaderConfig{}, "IPComp-B32");
+}
+
 std::vector<std::shared_ptr<ProgressiveCompressor>> speed_lineup() {
   auto lineup = evaluation_lineup();
   lineup.push_back(std::make_shared<ResidualCompressor>(
       std::make_shared<SperrCompressor>(), "SPERR-R"));
+  // Block-decomposed IPComp (archive v2): the speed study's parallel variant.
+  lineup.push_back(ipcomp_block_variant());
   return lineup;
 }
 

@@ -13,12 +13,13 @@ namespace ipcomp {
 
 class IpcompAdapter final : public ProgressiveCompressor {
  public:
-  explicit IpcompAdapter(Options opt = {}, ReaderConfig cfg = {})
-      : opt_(opt), cfg_(cfg) {
+  explicit IpcompAdapter(Options opt = {}, ReaderConfig cfg = {},
+                         std::string name = "IPComp")
+      : opt_(opt), cfg_(cfg), name_(std::move(name)) {
     opt_.relative = false;  // the adapter interface speaks absolute bounds
   }
 
-  std::string name() const override { return "IPComp"; }
+  std::string name() const override { return name_; }
   Bytes compress(NdConstView<double> data, double eb_abs) override;
   std::vector<double> decompress(const Bytes& archive) override;
   Retrieval retrieve_error(const Bytes& archive, double target) override;
@@ -27,6 +28,7 @@ class IpcompAdapter final : public ProgressiveCompressor {
  private:
   Options opt_;
   ReaderConfig cfg_;
+  std::string name_;
 };
 
 /// All progressive compressors of the paper's evaluation:
@@ -35,6 +37,10 @@ std::vector<std::shared_ptr<ProgressiveCompressor>> evaluation_lineup();
 
 /// The same plus SPERR-R (which Fig. 8 adds for the speed study).
 std::vector<std::shared_ptr<ProgressiveCompressor>> speed_lineup();
+
+/// Block-decomposed IPComp (archive v2) at the benchmarks' canonical block
+/// side; shared so fig5/fig8/CI all track the same variant.
+std::shared_ptr<ProgressiveCompressor> ipcomp_block_variant();
 
 /// Residual compressor factory (for the Fig. 9 residual-count sweep).
 std::shared_ptr<ProgressiveCompressor> make_residual(const std::string& base,

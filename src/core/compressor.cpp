@@ -9,6 +9,7 @@
 #include "bitplane/negabinary.hpp"
 #include "bitplane/predictive.hpp"
 #include "coding/codec.hpp"
+#include "core/blocks.hpp"
 #include "core/header.hpp"
 #include "interp/sweep.hpp"
 #include "io/archive.hpp"
@@ -68,34 +69,25 @@ Bytes serialize_base_segment(const LevelScratch& ls, bool progressive, bool try_
   return w.take();
 }
 
-}  // namespace
+/// One block's compressed output: its level table plus its segments in
+/// deterministic (level, plane) order.  Blocks are assembled concurrently
+/// into a pre-sized vector indexed by block ordinal, so the archive layout
+/// is byte-identical regardless of thread count.
+struct BlockResult {
+  std::vector<LevelHeader> levels;
+  std::vector<std::pair<SegmentId, Bytes>> segments;
+};
 
+/// Full per-block pipeline: interpolation sweep (in-loop quantization) →
+/// negabinary codes + outliers → bitplane split → predictive XOR → codec.
+/// `original` and `xhat` point at the block's origin element; `estrides` are
+/// the strides of the enclosing field, so the sweep addresses the block as a
+/// strided sub-view in place.
 template <typename T>
-double resolve_error_bound(NdConstView<T> input, const Options& opt) {
-  if (opt.error_bound <= 0.0) {
-    throw std::invalid_argument("ipcomp: error bound must be positive");
-  }
-  if (!opt.relative) return opt.error_bound;
-  auto [lo, hi] = min_max(input);
-  double range = hi - lo;
-  if (range <= 0.0) range = 1.0;  // constant field: any positive bound works
-  return opt.error_bound * range;
-}
-
-template <typename T>
-Bytes compress(NdConstView<T> input, const Options& opt) {
-  const Dims dims = input.dims();
-  const LevelStructure ls = LevelStructure::analyze(dims);
+BlockResult compress_block(const T* original, T* xhat, const LevelStructure& ls,
+                           const std::array<std::size_t, kMaxRank>& estrides,
+                           double eb, const Options& opt, std::uint32_t block) {
   const unsigned L = ls.num_levels;
-
-  auto [lo, hi] = min_max(input);
-  double range = hi - lo;
-  const double eb = opt.relative
-                        ? opt.error_bound * (range > 0.0 ? range : 1.0)
-                        : opt.error_bound;
-  if (opt.error_bound <= 0.0) {
-    throw std::invalid_argument("ipcomp: error bound must be positive");
-  }
   const LinearQuantizer quant(eb);
 
   std::vector<LevelScratch> levels(L);
@@ -103,44 +95,39 @@ Bytes compress(NdConstView<T> input, const Options& opt) {
     levels[li].codes.assign(ls.level_count[li], 0);
   }
 
-  // In-loop quantization: the working buffer holds reconstructed values so
-  // predictions see exactly what decompression will see.
-  std::vector<T> xhat(input.span().begin(), input.span().end());
-  const T* original = input.data();
+  // Outlier lists are per block; the mutex only matters in whole-field mode,
+  // where the sweep's line loop is the parallel one.  In block mode the
+  // nested-parallelism guard keeps this sweep serial and the lock free.
   std::mutex outlier_mutex;
 
-  interpolation_sweep(xhat.data(), ls, opt.interp,
-                      [&](unsigned li, std::size_t slot, std::size_t idx, T pred) -> T {
-                        std::int64_t code;
-                        T recon;
-                        if (quant.quantize(original[idx], pred, code, recon)) {
-                          levels[li].codes[slot] = negabinary_encode(code);
-                          return recon;
-                        }
-                        {
-                          std::lock_guard<std::mutex> lock(outlier_mutex);
-                          levels[li].outliers.emplace_back(
-                              slot, static_cast<double>(original[idx]));
-                        }
-                        return original[idx];
-                      });
+  // In-loop quantization: the working buffer holds reconstructed values so
+  // predictions see exactly what decompression will see.
+  interpolation_sweep_strided(
+      xhat, ls, opt.interp, estrides,
+      [&](unsigned li, std::size_t slot, std::size_t idx, T pred) -> T {
+        std::int64_t code;
+        T recon;
+        if (quant.quantize(original[idx], pred, code, recon)) {
+          levels[li].codes[slot] = negabinary_encode(code);
+          return recon;
+        }
+        {
+          std::lock_guard<std::mutex> lock(outlier_mutex);
+          levels[li].outliers.emplace_back(slot,
+                                           static_cast<double>(original[idx]));
+        }
+        return original[idx];
+      });
 
-  Header header;
-  header.dtype = data_type_of<T>();
-  header.dims = dims;
-  header.eb = eb;
-  header.interp = opt.interp;
-  header.prefix_bits = opt.prefix_bits;
-  header.data_min = lo;
-  header.data_max = hi;
-  header.levels.resize(L);
-
-  ArchiveBuilder builder;
+  BlockResult out;
+  out.levels.resize(L);
 
   for (unsigned li = 0; li < L; ++li) {
     LevelScratch& scratch = levels[li];
+    // Slots are unique per level, so sorting makes the outlier order (and
+    // with it the serialized bytes) independent of sweep scheduling.
     std::sort(scratch.outliers.begin(), scratch.outliers.end());
-    LevelHeader& lh = header.levels[li];
+    LevelHeader& lh = out.levels[li];
     lh.count = scratch.codes.size();
     lh.outlier_count = scratch.outliers.size();
     lh.progressive = scratch.codes.size() >= opt.progressive_threshold;
@@ -149,8 +136,9 @@ Bytes compress(NdConstView<T> input, const Options& opt) {
     if (!lh.progressive) {
       lh.n_planes = 0;
       lh.loss.assign(1, 0);
-      builder.add_segment({kSegBase, level_tag, 0},
-                          serialize_base_segment(scratch, false, opt.try_lzh));
+      out.segments.emplace_back(
+          SegmentId{kSegBase, level_tag, 0, block},
+          serialize_base_segment(scratch, false, opt.try_lzh));
       continue;
     }
 
@@ -165,8 +153,9 @@ Bytes compress(NdConstView<T> input, const Options& opt) {
       lh.loss[d] = static_cast<std::uint64_t>(loss[d]);
     }
 
-    builder.add_segment({kSegBase, level_tag, 0},
-                        serialize_base_segment(scratch, true, opt.try_lzh));
+    out.segments.emplace_back(
+        SegmentId{kSegBase, level_tag, 0, block},
+        serialize_base_segment(scratch, true, opt.try_lzh));
 
     if (n_planes > 0) {
       auto planes = extract_all_planes(scratch.codes);
@@ -180,7 +169,95 @@ Bytes compress(NdConstView<T> input, const Options& opt) {
         packed[k] = codec_compress({encoded.data(), encoded.size()}, opt.try_lzh);
       }, /*grain=*/1);
       for (unsigned k = 0; k < n_planes; ++k) {
-        builder.add_segment({kSegPlane, level_tag, k}, std::move(packed[k]));
+        out.segments.emplace_back(SegmentId{kSegPlane, level_tag, k, block},
+                                  std::move(packed[k]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double resolve_error_bound(const Options& opt, double data_min, double data_max) {
+  if (opt.error_bound <= 0.0) {
+    throw std::invalid_argument("ipcomp: error bound must be positive");
+  }
+  if (!opt.relative) return opt.error_bound;
+  double range = data_max - data_min;
+  if (range <= 0.0) range = 1.0;  // constant field: any positive bound works
+  return opt.error_bound * range;
+}
+
+template <typename T>
+double resolve_error_bound(NdConstView<T> input, const Options& opt) {
+  auto [lo, hi] = min_max(input);
+  return resolve_error_bound(opt, lo, hi);
+}
+
+template <typename T>
+Bytes compress(NdConstView<T> input, const Options& opt) {
+  const Dims dims = input.dims();
+  // Any side >= the largest extent yields one block per dimension, so clamp
+  // there: the header stores the side as u32, and grid and header must
+  // derive from the same value or the archive becomes unreadable.
+  std::size_t block_side = opt.block_side;
+  if (block_side != 0) {
+    block_side =
+        std::min(block_side, std::max<std::size_t>(2, dims.max_extent()));
+    if (block_side > 0xFFFFFFFFu) {
+      throw std::invalid_argument("ipcomp: block side too large");
+    }
+  }
+  const BlockGrid grid = BlockGrid::analyze(dims, block_side);
+
+  auto [lo, hi] = min_max(input);
+  const double eb = resolve_error_bound(opt, lo, hi);
+
+  std::vector<T> xhat(input.span().begin(), input.span().end());
+  const T* original = input.data();
+  const auto estrides = dims.strides();
+
+  Header header;
+  header.dtype = data_type_of<T>();
+  header.dims = dims;
+  header.eb = eb;
+  header.interp = opt.interp;
+  header.prefix_bits = opt.prefix_bits;
+  header.data_min = lo;
+  header.data_max = hi;
+  header.block_side = static_cast<std::uint32_t>(block_side);
+
+  ArchiveBuilder builder;
+  builder.set_version(block_side == 0 ? kArchiveV1 : kArchiveV2);
+
+  if (block_side == 0) {
+    // Legacy whole-field mode: one block spanning the field; the sweep and
+    // plane codecs parallelize internally.
+    BlockResult res = compress_block(original, xhat.data(),
+                                     LevelStructure::analyze(dims), estrides,
+                                     eb, opt, 0);
+    header.levels = std::move(res.levels);
+    for (auto& [id, payload] : res.segments) {
+      builder.add_segment(id, std::move(payload));
+    }
+  } else {
+    // Block mode: the whole pipeline runs per block, concurrently.  grain=2
+    // keeps a lone block out of a parallel region so its inner loops can
+    // still use the pool.
+    std::vector<BlockResult> results(grid.n_blocks);
+    parallel_for(0, grid.n_blocks, [&](std::size_t b) {
+      const std::size_t org = grid.origin_linear(b);
+      results[b] = compress_block(original + org, xhat.data() + org,
+                                  LevelStructure::analyze(grid.block_dims(b)),
+                                  estrides, eb, opt,
+                                  static_cast<std::uint32_t>(b));
+    }, /*grain=*/2);
+    header.block_levels.resize(grid.n_blocks);
+    for (std::size_t b = 0; b < grid.n_blocks; ++b) {
+      header.block_levels[b] = std::move(results[b].levels);
+      for (auto& [id, payload] : results[b].segments) {
+        builder.add_segment(id, std::move(payload));
       }
     }
   }

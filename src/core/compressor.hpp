@@ -20,4 +20,8 @@ Bytes compress(NdConstView<T> input, const Options& opt = {});
 template <typename T>
 double resolve_error_bound(NdConstView<T> input, const Options& opt);
 
+/// Same, with the data range already known.  Validates the configured bound
+/// before using it; this is the single place the bound logic lives.
+double resolve_error_bound(const Options& opt, double data_min, double data_max);
+
 }  // namespace ipcomp

@@ -2,18 +2,17 @@
 
 #include <stdexcept>
 
+#include "core/blocks.hpp"
+
 namespace ipcomp {
 
-Bytes Header::serialize() const {
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(dtype));
-  w.u8(static_cast<std::uint8_t>(dims.rank()));
-  for (std::size_t i = 0; i < dims.rank(); ++i) w.varint(dims[i]);
-  w.f64(eb);
-  w.u8(static_cast<std::uint8_t>(interp));
-  w.u8(static_cast<std::uint8_t>(prefix_bits));
-  w.f64(data_min);
-  w.f64(data_max);
+namespace {
+
+/// First byte of a v2+ header blob.  v1 blobs start with the dtype byte
+/// (0 or 1), so any first byte >= 2 unambiguously marks a tagged version.
+constexpr std::uint8_t kHeaderV2Tag = 2;
+
+void write_levels(ByteWriter& w, const std::vector<LevelHeader>& levels) {
   w.varint(levels.size());
   for (const LevelHeader& l : levels) {
     w.varint(l.count);
@@ -25,13 +24,64 @@ Bytes Header::serialize() const {
     for (auto v : l.loss) w.varint(v);
     w.varint(l.outlier_count);
   }
+}
+
+std::vector<LevelHeader> read_levels(ByteReader& r) {
+  std::size_t n_levels = r.varint();
+  // Each level encodes to at least 5 bytes; a count beyond that is a forged
+  // stream and must not drive the resize() allocation below.
+  if (n_levels > r.remaining() / 5) throw std::runtime_error("header: bad level count");
+  std::vector<LevelHeader> levels(n_levels);
+  for (LevelHeader& l : levels) {
+    l.count = r.varint();
+    l.progressive = r.u8() != 0;
+    l.n_planes = static_cast<std::uint32_t>(r.varint());
+    if (l.n_planes > 32) throw std::runtime_error("header: bad plane count");
+    l.loss.resize(l.n_planes + 1);
+    for (auto& v : l.loss) v = r.varint();
+    l.outlier_count = r.varint();
+  }
+  return levels;
+}
+
+}  // namespace
+
+Bytes Header::serialize() const {
+  ByteWriter w;
+  const bool v2 = block_side != 0;
+  if (v2) w.u8(kHeaderV2Tag);
+  w.u8(static_cast<std::uint8_t>(dtype));
+  w.u8(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t i = 0; i < dims.rank(); ++i) w.varint(dims[i]);
+  w.f64(eb);
+  w.u8(static_cast<std::uint8_t>(interp));
+  w.u8(static_cast<std::uint8_t>(prefix_bits));
+  w.f64(data_min);
+  w.f64(data_max);
+  if (!v2) {
+    write_levels(w, levels);
+    return w.take();
+  }
+  w.varint(block_side);
+  w.varint(block_levels.size());
+  for (const auto& bl : block_levels) write_levels(w, bl);
   return w.take();
 }
 
 Header Header::parse(const Bytes& raw) {
   ByteReader r({raw.data(), raw.size()});
   Header h;
-  h.dtype = static_cast<DataType>(r.u8());
+  std::uint8_t first = r.u8();
+  std::uint8_t format = 1;
+  if (first >= kHeaderV2Tag) {
+    if (first != kHeaderV2Tag) throw std::runtime_error("header: bad format tag");
+    format = first;
+    first = r.u8();
+  }
+  h.dtype = static_cast<DataType>(first);
+  if (h.dtype != DataType::kFloat32 && h.dtype != DataType::kFloat64) {
+    throw std::runtime_error("header: bad data type");
+  }
   std::size_t rank = r.u8();
   std::size_t extents[kMaxRank];
   if (rank == 0 || rank > kMaxRank) throw std::runtime_error("header: bad rank");
@@ -42,20 +92,24 @@ Header Header::parse(const Bytes& raw) {
   h.prefix_bits = r.u8();
   h.data_min = r.f64();
   h.data_max = r.f64();
-  std::size_t n_levels = r.varint();
-  // Each level encodes to at least 5 bytes; a count beyond that is a forged
-  // stream and must not drive the resize() allocation below.
-  if (n_levels > r.remaining() / 5) throw std::runtime_error("header: bad level count");
-  h.levels.resize(n_levels);
-  for (LevelHeader& l : h.levels) {
-    l.count = r.varint();
-    l.progressive = r.u8() != 0;
-    l.n_planes = static_cast<std::uint32_t>(r.varint());
-    if (l.n_planes > 32) throw std::runtime_error("header: bad plane count");
-    l.loss.resize(l.n_planes + 1);
-    for (auto& v : l.loss) v = r.varint();
-    l.outlier_count = r.varint();
+  if (format == 1) {
+    h.levels = read_levels(r);
+    return h;
   }
+  h.block_side = static_cast<std::uint32_t>(r.varint());
+  std::size_t n_blocks = r.varint();
+  // The block table must match the geometry derived from dims + block_side;
+  // that also rejects forged counts before they drive the resize() below.
+  // BlockGrid::analyze throws for block_side == 1 (and parse already rejects
+  // 0 here, which would make the v2 table inconsistent with a v1 layout).
+  if (h.block_side == 0) throw std::runtime_error("header: bad block side");
+  BlockGrid grid = BlockGrid::analyze(h.dims, h.block_side);
+  if (n_blocks != grid.n_blocks) {
+    throw std::runtime_error("header: block table does not match geometry");
+  }
+  if (n_blocks > r.remaining()) throw std::runtime_error("header: bad block count");
+  h.block_levels.resize(n_blocks);
+  for (auto& bl : h.block_levels) bl = read_levels(r);
   return h;
 }
 

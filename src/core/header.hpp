@@ -43,9 +43,20 @@ struct Header {
   std::uint32_t prefix_bits = 2;
   double data_min = 0.0;
   double data_max = 0.0;
-  /// Index 0 = finest level (level 1 in the paper's numbering).
+  /// Block decomposition side length (archive format v2); 0 = whole-field
+  /// archive described by `levels` alone.
+  std::uint32_t block_side = 0;
+  /// Index 0 = finest level (level 1 in the paper's numbering).  Used when
+  /// block_side == 0.
   std::vector<LevelHeader> levels;
+  /// Per-block level tables (block ordinal -> levels), used when
+  /// block_side != 0.  Block geometry is derived from dims + block_side
+  /// (BlockGrid), so only the level tables are serialized.
+  std::vector<std::vector<LevelHeader>> block_levels;
 
+  /// Self-versioned: whole-field headers serialize in the v1 layout
+  /// (first byte = dtype, 0 or 1), block headers prepend a format tag
+  /// byte >= 2.  parse() distinguishes them by that first byte.
   Bytes serialize() const;
   static Header parse(const Bytes& raw);
 };

@@ -27,6 +27,14 @@ struct Options {
   /// Allow the LZ77 stage when choosing per-plane codecs (RLE-only is faster
   /// to compress, LZH usually smaller).
   bool try_lzh = true;
+
+  /// Side length of the cubic blocks the field is decomposed into (archive
+  /// format v2).  Blocks are compressed independently and concurrently, and
+  /// readers can decode only the blocks intersecting a region of interest.
+  /// 0 = legacy whole-field mode (archive format v1); 1 is rejected.  For
+  /// throughput, pick a side so the block count is at least the thread count
+  /// (e.g. 64 for a 256^3 field); tiny blocks cost compression ratio.
+  std::size_t block_side = 0;
 };
 
 }  // namespace ipcomp

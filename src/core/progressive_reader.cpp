@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <tuple>
 
 #include "bitplane/bitplane.hpp"
 #include "bitplane/negabinary.hpp"
@@ -33,42 +34,110 @@ ProgressiveReader<T>::ProgressiveReader(SegmentSource& src, ReaderConfig cfg)
   if (header_.dtype != data_type_of<T>()) {
     throw std::runtime_error("ProgressiveReader: archive value type mismatch");
   }
-  ls_ = LevelStructure::analyze(header_.dims);
-  if (ls_.num_levels != header_.levels.size()) {
-    throw std::runtime_error("ProgressiveReader: level count mismatch");
+  // Block-decomposed headers only occur in v2 containers (and vice versa);
+  // a mismatch means a forged or corrupted stream.
+  if ((header_.block_side != 0) != (src_.version() >= kArchiveV2)) {
+    throw std::runtime_error(
+        "ProgressiveReader: header/container version mismatch");
   }
-  for (unsigned li = 0; li < ls_.num_levels; ++li) {
-    if (ls_.level_count[li] != header_.levels[li].count) {
-      throw std::runtime_error("ProgressiveReader: level size mismatch");
+  grid_ = BlockGrid::analyze(header_.dims, header_.block_side);
+  field_strides_ = header_.dims.strides();
+  if (header_.block_side == 0) {
+    if (!header_.block_levels.empty()) {
+      throw std::runtime_error("ProgressiveReader: unexpected block table");
+    }
+  } else if (header_.block_levels.size() != grid_.n_blocks) {
+    throw std::runtime_error("ProgressiveReader: block table size mismatch");
+  }
+
+  blocks_.resize(grid_.n_blocks);
+  for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
+    BlockState& bs = blocks_[b];
+    bs.ls = LevelStructure::analyze(grid_.block_dims(b));
+    bs.origin = grid_.origin_linear(b);
+    const auto& levels = levels_of(b);
+    if (bs.ls.num_levels != levels.size()) {
+      throw std::runtime_error("ProgressiveReader: level count mismatch");
+    }
+    for (unsigned li = 0; li < bs.ls.num_levels; ++li) {
+      if (bs.ls.level_count[li] != levels[li].count) {
+        throw std::runtime_error("ProgressiveReader: level size mismatch");
+      }
+    }
+    const unsigned L = bs.ls.num_levels;
+    bs.codes.resize(L);
+    bs.planes_used.assign(L, 0);
+    bs.outlier_bitmap.resize(L);
+    bs.outlier_value.resize(L);
+    n_levels_ = std::max(n_levels_, L);
+  }
+
+  agg_planes_.assign(n_levels_, 0);
+  for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
+    const auto& levels = levels_of(b);
+    for (unsigned li = 0; li < levels.size(); ++li) {
+      if (levels[li].progressive) {
+        agg_planes_[li] = std::max(agg_planes_[li], levels[li].n_planes);
+      }
     }
   }
-  const unsigned L = ls_.num_levels;
-  codes_.resize(L);
-  planes_used_.assign(L, 0);
-  outlier_bitmap_.resize(L);
-  outlier_value_.resize(L);
+  planes_used_.assign(n_levels_, 0);
+
+  agg_plane_size_.resize(n_levels_);
+  fetched_plane_bytes_.resize(n_levels_);
+  for (unsigned li = 0; li < n_levels_; ++li) {
+    agg_plane_size_[li].assign(agg_planes_[li], 0);
+    fetched_plane_bytes_[li].assign(agg_planes_[li], 0);
+  }
+  for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
+    const auto& levels = levels_of(b);
+    for (unsigned li = 0; li < levels.size(); ++li) {
+      const LevelHeader& lh = levels[li];
+      if (!lh.progressive || lh.n_planes == 0) continue;
+      for (unsigned k = 0; k < lh.n_planes; ++k) {
+        agg_plane_size_[li][k] += src_.segment_size(
+            {kSegPlane, static_cast<std::uint16_t>(li + 1), k,
+             static_cast<std::uint32_t>(b)});
+      }
+    }
+  }
 }
 
 template <typename T>
-void ProgressiveReader<T>::ensure_base_loaded() {
-  if (base_loaded_) return;
-  for (unsigned li = 0; li < ls_.num_levels; ++li) {
-    const LevelHeader& lh = header_.levels[li];
-    codes_[li].assign(lh.count, 0);
-    Bytes seg = src_.read_segment({kSegBase, static_cast<std::uint16_t>(li + 1), 0});
+void ProgressiveReader<T>::fetch_base(std::size_t b, FetchedBlock& out) {
+  const auto& levels = levels_of(b);
+  out.base.resize(levels.size());
+  for (unsigned li = 0; li < levels.size(); ++li) {
+    out.base[li] = src_.read_segment({kSegBase, static_cast<std::uint16_t>(li + 1),
+                                      0, static_cast<std::uint32_t>(b)});
+  }
+  out.has_base = true;
+}
+
+template <typename T>
+void ProgressiveReader<T>::decode_base(std::size_t b, FetchedBlock& fetched) {
+  BlockState& bs = blocks_[b];
+  const auto& levels = levels_of(b);
+  for (unsigned li = 0; li < levels.size(); ++li) {
+    const LevelHeader& lh = levels[li];
+    bs.codes[li].assign(lh.count, 0);
+    const Bytes& seg = fetched.base[li];
     ByteReader r({seg.data(), seg.size()});
     std::size_t n_out = r.varint();
     if (n_out != lh.outlier_count) {
       throw std::runtime_error("reader: outlier count mismatch");
     }
     if (n_out > 0) {
-      outlier_bitmap_[li].assign(plane_bytes(lh.count), 0);
+      bs.outlier_bitmap[li].assign(plane_bytes(lh.count), 0);
       std::size_t slot = 0;
       for (std::size_t i = 0; i < n_out; ++i) {
         slot += r.varint();
         double value = r.f64();
-        bitmap_set(outlier_bitmap_[li], slot);
-        outlier_value_[li][slot] = value;
+        if (slot >= lh.count) {
+          throw std::runtime_error("reader: outlier slot out of range");
+        }
+        bitmap_set(bs.outlier_bitmap[li], slot);
+        bs.outlier_value[li][slot] = value;
       }
     }
     if (!lh.progressive) {
@@ -76,43 +145,203 @@ void ProgressiveReader<T>::ensure_base_loaded() {
       auto packed = r.bytes(packed_size);
       Bytes raw = codec_decompress(packed, lh.count * 4);
       for (std::size_t i = 0; i < lh.count; ++i) {
-        codes_[li][i] = static_cast<std::uint32_t>(raw[4 * i]) |
-                        static_cast<std::uint32_t>(raw[4 * i + 1]) << 8 |
-                        static_cast<std::uint32_t>(raw[4 * i + 2]) << 16 |
-                        static_cast<std::uint32_t>(raw[4 * i + 3]) << 24;
+        bs.codes[li][i] = static_cast<std::uint32_t>(raw[4 * i]) |
+                          static_cast<std::uint32_t>(raw[4 * i + 1]) << 8 |
+                          static_cast<std::uint32_t>(raw[4 * i + 2]) << 16 |
+                          static_cast<std::uint32_t>(raw[4 * i + 3]) << 24;
       }
     }
   }
-  base_loaded_ = true;
+  bs.base_loaded = true;
+}
+
+template <typename T>
+void ProgressiveReader<T>::ensure_base_loaded() {
+  std::vector<FetchedBlock> fetched(grid_.n_blocks);
+  bool any = false;
+  for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
+    if (!blocks_[b].base_loaded) {
+      fetch_base(b, fetched[b]);
+      any = true;
+    }
+  }
+  if (!any) return;
+  parallel_for_ex(0, grid_.n_blocks, [&](std::size_t b) {
+    if (fetched[b].has_base) decode_base(b, fetched[b]);
+  }, /*grain=*/2);
+}
+
+template <typename T>
+std::vector<unsigned> ProgressiveReader<T>::block_targets(
+    std::size_t b, const std::vector<unsigned>& global) const {
+  const auto& levels = levels_of(b);
+  std::vector<unsigned> targets(levels.size(), 0);
+  for (unsigned li = 0; li < levels.size(); ++li) {
+    const LevelHeader& lh = levels[li];
+    if (!lh.progressive || lh.n_planes == 0) continue;
+    // The global axis counts planes from the top of the deepest block at
+    // this level; a shallower block's missing high planes are all-zero, so
+    // "use u of D" translates to dropping d = D − u of its lowest planes.
+    const unsigned D = agg_planes_[li];
+    const unsigned u = std::min(global[li], D);
+    const unsigned d = D - u;
+    targets[li] = lh.n_planes - std::min(d, lh.n_planes);
+  }
+  return targets;
+}
+
+template <typename T>
+void ProgressiveReader<T>::fetch_planes(std::size_t b,
+                                        const std::vector<unsigned>& targets,
+                                        FetchedBlock& out) {
+  const auto& levels = levels_of(b);
+  const BlockState& bs = blocks_[b];
+  for (unsigned li = 0; li < levels.size(); ++li) {
+    const LevelHeader& lh = levels[li];
+    if (!lh.progressive || lh.n_planes == 0) continue;
+    const unsigned target = std::min(targets[li], lh.n_planes);
+    // Planes are indexed by absolute bit position: using `u` planes from the
+    // top means planes [n_planes - u, n_planes), fetched MSB-first so the
+    // predictive XOR prefix bits are always resident before a plane decodes.
+    for (unsigned used = bs.planes_used[li] + 1; used <= target; ++used) {
+      const unsigned k = lh.n_planes - used;
+      Bytes payload =
+          src_.read_segment({kSegPlane, static_cast<std::uint16_t>(li + 1), k,
+                             static_cast<std::uint32_t>(b)});
+      fetched_plane_bytes_[li][k] += payload.size();
+      out.planes.emplace_back(li, k, std::move(payload));
+    }
+  }
+}
+
+template <typename T>
+void ProgressiveReader<T>::decode_and_reconstruct(std::size_t b,
+                                                  FetchedBlock& fetched) {
+  BlockState& bs = blocks_[b];
+  const auto& levels = levels_of(b);
+  std::vector<std::vector<std::uint32_t>> delta;
+  if (bs.have_recon && !fetched.planes.empty()) delta.resize(levels.size());
+
+  for (auto& [li, k, seg] : fetched.planes) {
+    const LevelHeader& lh = levels[li];
+    Bytes encoded = codec_decompress({seg.data(), seg.size()},
+                                     plane_bytes(lh.count));
+    Bytes plane = header_.prefix_bits == 0
+                      ? std::move(encoded)
+                      : predictive_encode_plane(bs.codes[li], encoded, k,
+                                                header_.prefix_bits);
+    deposit_plane(bs.codes[li], plane, k);
+    if (bs.have_recon) {
+      if (delta[li].empty()) delta[li].assign(lh.count, 0);
+      deposit_plane(delta[li], plane, k);
+    }
+    bs.planes_used[li] = lh.n_planes - k;
+  }
+
+  if (!bs.have_recon) {
+    const LinearQuantizer quant(header_.eb);
+    interpolation_sweep_strided(
+        xhat_.data() + bs.origin, bs.ls, header_.interp, field_strides_,
+        [&](unsigned li, std::size_t slot, std::size_t /*idx*/, T pred) -> T {
+          double raw;
+          if (is_outlier(bs, li, slot, raw)) return static_cast<T>(raw);
+          return quant.dequantize(pred, negabinary_decode(bs.codes[li][slot]));
+        });
+    bs.have_recon = true;
+    return;
+  }
+  if (fetched.planes.empty()) return;
+
+  // Refinement: sweep only the newly added code bits into a block-local
+  // dense delta buffer, then add it onto the block's strided span of xhat_ —
+  // the cost stays proportional to the block, not the field (matters for
+  // request_region).  Always swept in double so incremental refinement of
+  // float archives loses at most one rounding at the final addition.
+  const double step = 2.0 * header_.eb;
+  std::vector<double> dblock(bs.ls.dims.count(), 0.0);
+  interpolation_sweep(
+      dblock.data(), bs.ls, header_.interp,
+      [&](unsigned li, std::size_t slot, std::size_t /*idx*/,
+          double pred) -> double {
+        double raw;
+        if (is_outlier(bs, li, slot, raw)) return 0.0;  // outliers are exact
+        if (delta[li].empty()) {
+          return pred;  // no new bits at this level
+        }
+        const double dy =
+            static_cast<double>(negabinary_decode(delta[li][slot])) * step;
+        return pred + dy;
+      });
+
+  const Dims& bd = bs.ls.dims;
+  const std::size_t rank = bd.rank();
+  const std::size_t row = bd[rank - 1];  // contiguous in the field too
+  const std::size_t lines = bd.count() / row;
+  parallel_for(0, lines, [&](std::size_t line) {
+    std::size_t rem = line;
+    std::size_t off = 0;
+    for (std::size_t j = rank - 1; j-- > 0;) {
+      off += (rem % bd[j]) * field_strides_[j];
+      rem /= bd[j];
+    }
+    const double* src = dblock.data() + line * row;
+    T* dst = xhat_.data() + bs.origin + off;
+    for (std::size_t i = 0; i < row; ++i) {
+      dst[i] = static_cast<T>(static_cast<double>(dst[i]) + src[i]);
+    }
+  }, /*grain=*/std::max<std::size_t>(1, 32768 / row));
 }
 
 template <typename T>
 std::vector<LevelPlanInput> ProgressiveReader<T>::planner_inputs() const {
   const unsigned rank = static_cast<unsigned>(header_.dims.rank());
   const double step = 2.0 * header_.eb;
-  std::vector<LevelPlanInput> inputs(ls_.num_levels);
-  for (unsigned li = 0; li < ls_.num_levels; ++li) {
-    const LevelHeader& lh = header_.levels[li];
+  std::vector<LevelPlanInput> inputs(n_levels_);
+  for (unsigned li = 0; li < n_levels_; ++li) {
+    const unsigned D = agg_planes_[li];
     LevelPlanInput& in = inputs[li];
-    if (!lh.progressive || lh.n_planes == 0) {
+    if (D == 0) {
       in.err.assign(1, 0.0);
       in.already_loaded = 0;
       continue;
     }
     const double amp =
         level_amplification(cfg_.error_model, header_.interp, rank, li + 1);
-    in.plane_size.resize(lh.n_planes);
-    for (unsigned k = 0; k < lh.n_planes; ++k) {
-      in.plane_size[k] =
-          src_.segment_size({kSegPlane, static_cast<std::uint16_t>(li + 1), k});
+    // Aggregate the level across blocks: plane sizes sum (fetching global
+    // plane k touches every block that stores it), truncation losses max
+    // (the field's L∞ error is the worst block's).  Bytes already fetched —
+    // including blocks request_region pushed past the global floor — are
+    // sunk cost: pricing them again would make byte budgets under-fetch.
+    in.plane_size.resize(D);
+    for (unsigned k = 0; k < D; ++k) {
+      in.plane_size[k] = agg_plane_size_[li][k] - fetched_plane_bytes_[li][k];
     }
-    in.err.resize(lh.n_planes + 1);
-    for (unsigned d = 0; d <= lh.n_planes; ++d) {
-      in.err[d] = amp * static_cast<double>(lh.loss[d]) * step;
+    in.err.assign(D + 1, 0.0);
+    for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
+      const auto& levels = levels_of(b);
+      if (li >= levels.size()) continue;
+      const LevelHeader& lh = levels[li];
+      if (!lh.progressive || lh.n_planes == 0) continue;
+      for (unsigned d = 0; d <= D; ++d) {
+        const double e =
+            amp * static_cast<double>(lh.loss[std::min(d, lh.n_planes)]) * step;
+        in.err[d] = std::max(in.err[d], e);
+      }
     }
     in.already_loaded = planes_used_[li];
   }
   return inputs;
+}
+
+template <typename T>
+RetrievalStats ProgressiveReader<T>::finish_stats(std::size_t before) {
+  RetrievalStats st;
+  st.guaranteed_error = current_guaranteed_error();
+  st.bytes_total = src_.bytes_read();
+  st.bytes_new = st.bytes_total - before;
+  st.bitrate = 8.0 * static_cast<double>(st.bytes_total) /
+               static_cast<double>(header_.dims.count());
+  return st;
 }
 
 template <typename T>
@@ -123,52 +352,27 @@ RetrievalStats ProgressiveReader<T>::apply_plan(const LoadPlan& plan,
   // header read is attributed here too, exactly once.
   const std::size_t before = bytes_before - unattributed_open_cost_;
   unattributed_open_cost_ = 0;
-  const unsigned L = ls_.num_levels;
 
-  // Fetch and decode the newly requested planes, top (MSB) first so the
-  // predictive XOR prefix bits are always resident before a plane decodes.
-  std::vector<std::vector<std::uint32_t>> delta;
-  bool any_new = false;
-  if (have_recon_) delta.resize(L);
-  for (unsigned li = 0; li < L; ++li) {
-    const LevelHeader& lh = header_.levels[li];
-    if (!lh.progressive || lh.n_planes == 0) continue;
-    unsigned target = std::max(plan.planes_to_use[li], planes_used_[li]);
-    if (target <= planes_used_[li]) continue;
-    any_new = true;
-    if (have_recon_ && delta[li].empty()) delta[li].assign(lh.count, 0);
-    // Planes are indexed by absolute bit position: using `u` planes from the
-    // top means planes [n_planes - u, n_planes).
-    for (unsigned used = planes_used_[li] + 1; used <= target; ++used) {
-      const unsigned k = lh.n_planes - used;
-      Bytes seg =
-          src_.read_segment({kSegPlane, static_cast<std::uint16_t>(li + 1), k});
-      Bytes encoded = codec_decompress({seg.data(), seg.size()},
-                                       plane_bytes(lh.count));
-      Bytes plane = header_.prefix_bits == 0
-                        ? std::move(encoded)
-                        : predictive_encode_plane(codes_[li], encoded, k,
-                                                  header_.prefix_bits);
-      deposit_plane(codes_[li], plane, k);
-      if (have_recon_) deposit_plane(delta[li], plane, k);
-    }
-    planes_used_[li] = target;
+  std::vector<unsigned> global(n_levels_, 0);
+  for (unsigned li = 0; li < n_levels_; ++li) {
+    global[li] = std::min(
+        std::max(plan.planes_to_use[li], planes_used_[li]), agg_planes_[li]);
   }
 
-  if (!have_recon_) {
-    reconstruct_full();
-    have_recon_ = true;
-  } else if (any_new) {
-    reconstruct_delta(delta);
+  // Fetch serially (the source counts bytes), then decode and sweep the
+  // blocks concurrently — each block's sweep runs serially inside the outer
+  // parallel region (nested-parallelism guard), so output is deterministic.
+  std::vector<FetchedBlock> fetched(grid_.n_blocks);
+  for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
+    fetch_planes(b, block_targets(b, global), fetched[b]);
   }
 
-  RetrievalStats st;
-  st.guaranteed_error = current_guaranteed_error();
-  st.bytes_total = src_.bytes_read();
-  st.bytes_new = st.bytes_total - before;
-  st.bitrate = 8.0 * static_cast<double>(st.bytes_total) /
-               static_cast<double>(ls_.dims.count());
-  return st;
+  if (xhat_.empty()) xhat_.assign(header_.dims.count(), T{});
+  parallel_for_ex(0, grid_.n_blocks, [&](std::size_t b) {
+    decode_and_reconstruct(b, fetched[b]);
+  }, /*grain=*/2);
+  planes_used_ = std::move(global);
+  return finish_stats(before);
 }
 
 template <typename T>
@@ -176,62 +380,34 @@ double ProgressiveReader<T>::current_guaranteed_error() const {
   const unsigned rank = static_cast<unsigned>(header_.dims.rank());
   const double step = 2.0 * header_.eb;
   double err = header_.eb;
-  for (unsigned li = 0; li < ls_.num_levels; ++li) {
-    const LevelHeader& lh = header_.levels[li];
-    if (!lh.progressive || lh.n_planes == 0) continue;
-    const unsigned d = lh.n_planes - planes_used_[li];
+  for (unsigned li = 0; li < n_levels_; ++li) {
+    const unsigned D = agg_planes_[li];
+    if (D == 0) continue;
+    const unsigned d = D - planes_used_[li];
     const double amp =
         level_amplification(cfg_.error_model, header_.interp, rank, li + 1);
-    err += amp * static_cast<double>(lh.loss[d]) * step;
+    double worst = 0.0;
+    for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
+      const auto& levels = levels_of(b);
+      if (li >= levels.size()) continue;
+      const LevelHeader& lh = levels[li];
+      if (!lh.progressive || lh.n_planes == 0) continue;
+      worst = std::max(
+          worst, static_cast<double>(lh.loss[std::min(d, lh.n_planes)]));
+    }
+    err += amp * worst * step;
   }
   return err;
 }
 
 template <typename T>
-bool ProgressiveReader<T>::is_outlier(unsigned li, std::size_t slot,
-                                      double& value) const {
-  if (outlier_bitmap_[li].empty() || !bitmap_test(outlier_bitmap_[li], slot)) {
+bool ProgressiveReader<T>::is_outlier(const BlockState& bs, unsigned li,
+                                      std::size_t slot, double& value) const {
+  if (bs.outlier_bitmap[li].empty() || !bitmap_test(bs.outlier_bitmap[li], slot)) {
     return false;
   }
-  value = outlier_value_[li].at(slot);
+  value = bs.outlier_value[li].at(slot);
   return true;
-}
-
-template <typename T>
-void ProgressiveReader<T>::reconstruct_full() {
-  const LinearQuantizer quant(header_.eb);
-  xhat_.assign(ls_.dims.count(), T{});
-  interpolation_sweep(
-      xhat_.data(), ls_, header_.interp,
-      [&](unsigned li, std::size_t slot, std::size_t /*idx*/, T pred) -> T {
-        double raw;
-        if (is_outlier(li, slot, raw)) return static_cast<T>(raw);
-        return quant.dequantize(pred, negabinary_decode(codes_[li][slot]));
-      });
-}
-
-template <typename T>
-void ProgressiveReader<T>::reconstruct_delta(
-    const std::vector<std::vector<std::uint32_t>>& delta) {
-  const double step = 2.0 * header_.eb;
-  // The delta field is always swept in double so incremental refinement of
-  // float archives loses at most one rounding at the final addition.
-  std::vector<double> dfield(ls_.dims.count(), 0.0);
-  interpolation_sweep(
-      dfield.data(), ls_, header_.interp,
-      [&](unsigned li, std::size_t slot, std::size_t /*idx*/, double pred) -> double {
-        double raw;
-        if (is_outlier(li, slot, raw)) return 0.0;  // outliers are always exact
-        if (delta[li].empty()) {
-          return pred;  // no new bits at this level
-        }
-        const double dy =
-            static_cast<double>(negabinary_decode(delta[li][slot])) * step;
-        return pred + dy;
-      });
-  parallel_for(0, xhat_.size(), [&](std::size_t i) {
-    xhat_[i] = static_cast<T>(static_cast<double>(xhat_[i]) + dfield[i]);
-  }, /*grain=*/1 << 15);
 }
 
 template <typename T>
@@ -257,7 +433,7 @@ RetrievalStats ProgressiveReader<T>::request_bytes(std::uint64_t budget_bytes) {
 template <typename T>
 RetrievalStats ProgressiveReader<T>::request_bitrate(double bits_per_value) {
   const double total_budget =
-      bits_per_value * static_cast<double>(ls_.dims.count()) / 8.0;
+      bits_per_value * static_cast<double>(header_.dims.count()) / 8.0;
   const double already = static_cast<double>(src_.bytes_read());
   std::uint64_t budget =
       total_budget > already
@@ -271,11 +447,53 @@ RetrievalStats ProgressiveReader<T>::request_full() {
   const std::size_t before = src_.bytes_read();
   ensure_base_loaded();
   LoadPlan plan;
-  plan.planes_to_use.resize(ls_.num_levels);
-  for (unsigned li = 0; li < ls_.num_levels; ++li) {
-    plan.planes_to_use[li] = header_.levels[li].n_planes;
-  }
+  plan.planes_to_use.assign(agg_planes_.begin(), agg_planes_.end());
   return apply_plan(plan, before);
+}
+
+template <typename T>
+RetrievalStats ProgressiveReader<T>::request_region(
+    const std::array<std::size_t, kMaxRank>& lo,
+    const std::array<std::size_t, kMaxRank>& hi) {
+  for (std::size_t i = 0; i < header_.dims.rank(); ++i) {
+    if (lo[i] >= hi[i] || hi[i] > header_.dims[i]) {
+      throw std::invalid_argument("request_region: bad region bounds");
+    }
+  }
+  const std::size_t before = src_.bytes_read() - unattributed_open_cost_;
+  unattributed_open_cost_ = 0;
+
+  // Touch only intersecting blocks: fetch their base + all remaining planes,
+  // then decode and reconstruct them concurrently at full fidelity.
+  std::vector<std::size_t> selected;
+  for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
+    if (grid_.intersects(b, lo, hi)) selected.push_back(b);
+  }
+  std::vector<FetchedBlock> fetched(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const std::size_t b = selected[i];
+    if (!blocks_[b].base_loaded) fetch_base(b, fetched[i]);
+    std::vector<unsigned> full(levels_of(b).size());
+    for (unsigned li = 0; li < full.size(); ++li) {
+      full[li] = levels_of(b)[li].n_planes;
+    }
+    // fetch_planes consults planes_used, which is only valid once the base
+    // has been decoded; a block fetched fresh here has planes_used == 0.
+    fetch_planes(b, full, fetched[i]);
+  }
+
+  if (xhat_.empty()) xhat_.assign(header_.dims.count(), T{});
+  parallel_for_ex(0, selected.size(), [&](std::size_t i) {
+    const std::size_t b = selected[i];
+    if (fetched[i].has_base) decode_base(b, fetched[i]);
+    decode_and_reconstruct(b, fetched[i]);
+  }, /*grain=*/2);
+
+  RetrievalStats st = finish_stats(before);
+  // The loaded blocks are at full fidelity: within the region the guarantee
+  // is the compression bound, regardless of the global plane floor.
+  st.guaranteed_error = header_.eb;
+  return st;
 }
 
 template class ProgressiveReader<float>;

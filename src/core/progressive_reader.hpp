@@ -11,13 +11,23 @@
 // The delta form is exact because the reconstruction map is linear in the
 // dequantized differences and negabinary decoding is linear over bit
 // positions (DESIGN.md §6.5).
+//
+// Block-decomposed (v2) archives hold one independent code/outlier state per
+// block.  Uniform requests (error bound / bytes / bitrate / full) plan over
+// per-level aggregates — plane sizes summed and truncation losses maxed
+// across blocks — fetch segments serially, then decode and sweep the blocks
+// concurrently.  request_region() additionally serves region-of-interest
+// retrieval: it reads and reconstructs only the blocks intersecting the
+// requested region.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "core/blocks.hpp"
 #include "core/header.hpp"
 #include "io/archive.hpp"
 #include "loader/error_model.hpp"
@@ -34,7 +44,8 @@ struct ReaderConfig {
 /// Outcome of one retrieval request.
 struct RetrievalStats {
   /// eb + Σ amplified truncation loss under the current plane set: the L∞
-  /// error the reader guarantees for its current output.
+  /// error the reader guarantees for its current output.  For
+  /// request_region() the guarantee covers the requested region only.
   double guaranteed_error = 0.0;
   /// Bytes fetched by this request (segments + first-touch header cost).
   std::size_t bytes_new = 0;
@@ -63,20 +74,70 @@ class ProgressiveReader {
   /// Retrieve all remaining planes (full-fidelity output, error <= eb).
   RetrievalStats request_full();
 
+  /// Region-of-interest retrieval: load the blocks of a block-decomposed
+  /// archive that intersect the half-open box [lo, hi) — and only those —
+  /// at full fidelity.  Elements of data() inside the region are then within
+  /// eb of the original; elements in non-intersecting blocks are whatever
+  /// earlier requests produced (zero if none ran).  On a whole-field (v1)
+  /// archive the single block spans the field, so this equals request_full.
+  RetrievalStats request_region(const std::array<std::size_t, kMaxRank>& lo,
+                                const std::array<std::size_t, kMaxRank>& hi);
+
   const std::vector<T>& data() const { return xhat_; }
   const Header& header() const { return header_; }
-  std::size_t element_count() const { return ls_.dims.count(); }
+  const BlockGrid& block_grid() const { return grid_; }
+  std::size_t element_count() const { return header_.dims.count(); }
   std::size_t bytes_loaded() const { return src_.bytes_read(); }
   double compression_eb() const { return header_.eb; }
   double current_guaranteed_error() const;
 
  private:
+  /// Per-block retrieval state: one independent instance of the paper's
+  /// algorithm state.  Whole-field archives hold exactly one.
+  struct BlockState {
+    LevelStructure ls;
+    std::size_t origin = 0;  // element offset of the block in the field
+    std::vector<std::vector<std::uint32_t>> codes;  // per level, partial
+    std::vector<unsigned> planes_used;              // per level, from the top
+    std::vector<Bytes> outlier_bitmap;              // per level (maybe empty)
+    std::vector<std::unordered_map<std::size_t, double>> outlier_value;
+    bool base_loaded = false;
+    bool have_recon = false;
+  };
+
+  /// Raw (still compressed) segment bytes fetched for one block by the
+  /// current request, in decode order; decoding runs in parallel per block.
+  struct FetchedBlock {
+    std::vector<Bytes> base;  // per level; empty when already resident
+    bool has_base = false;
+    /// (level index, absolute plane position, payload), MSB-first per level.
+    std::vector<std::tuple<unsigned, unsigned, Bytes>> planes;
+  };
+
+  const std::vector<LevelHeader>& levels_of(std::size_t b) const {
+    return header_.block_side == 0 ? header_.levels : header_.block_levels[b];
+  }
+
   void ensure_base_loaded();
+  void fetch_base(std::size_t b, FetchedBlock& out);
+  void decode_base(std::size_t b, FetchedBlock& fetched);
+  /// Queue the not-yet-resident plane segments of block `b` needed to reach
+  /// `targets[li]` planes-from-the-top per level (block-local units).
+  void fetch_planes(std::size_t b, const std::vector<unsigned>& targets,
+                    FetchedBlock& out);
+  /// Decode fetched planes into the block's codes, reconstruct the block
+  /// (full sweep on first touch; afterwards a block-local delta sweep added
+  /// onto the block's span of xhat_).
+  void decode_and_reconstruct(std::size_t b, FetchedBlock& fetched);
   std::vector<LevelPlanInput> planner_inputs() const;
   RetrievalStats apply_plan(const LoadPlan& plan, std::size_t bytes_before);
-  void reconstruct_full();
-  void reconstruct_delta(const std::vector<std::vector<std::uint32_t>>& delta);
-  bool is_outlier(unsigned li, std::size_t slot, double& value) const;
+  RetrievalStats finish_stats(std::size_t before);
+  /// Per-block plane targets for a uniform plan entry (global planes-from-top
+  /// axis, see planner_inputs()).
+  std::vector<unsigned> block_targets(std::size_t b,
+                                      const std::vector<unsigned>& global) const;
+  bool is_outlier(const BlockState& bs, unsigned li, std::size_t slot,
+                  double& value) const;
 
   SegmentSource& src_;
   ReaderConfig cfg_;
@@ -84,14 +145,24 @@ class ProgressiveReader {
   /// request so that bytes_new sums to bytes_total.
   std::size_t unattributed_open_cost_ = 0;
   Header header_;
-  LevelStructure ls_;
-  bool base_loaded_ = false;
-  bool have_recon_ = false;
+  BlockGrid grid_;
+  std::array<std::size_t, kMaxRank> field_strides_{};
+  unsigned n_levels_ = 0;  // max over blocks
+  /// Per level: max n_planes over blocks — the global planes-from-top axis
+  /// uniform requests plan on.
+  std::vector<unsigned> agg_planes_;
+  /// [level][plane] -> total compressed bytes across blocks, computed once
+  /// at construction (segment sizes are immutable; re-querying the source
+  /// per request would cost O(blocks x planes) map lookups each time).
+  std::vector<std::vector<std::uint64_t>> agg_plane_size_;
+  /// [level][plane] -> bytes of those segments already fetched (uniform
+  /// requests and request_region alike); the planner prices only the rest.
+  std::vector<std::vector<std::uint64_t>> fetched_plane_bytes_;
+  /// Per level: planes-from-top every block is guaranteed to have (uniform
+  /// requests only; request_region may push single blocks further).
+  std::vector<unsigned> planes_used_;
 
-  std::vector<std::vector<std::uint32_t>> codes_;  // per level, partial
-  std::vector<unsigned> planes_used_;              // per level, from the top
-  std::vector<Bytes> outlier_bitmap_;              // per level (maybe empty)
-  std::vector<std::unordered_map<std::size_t, double>> outlier_value_;
+  std::vector<BlockState> blocks_;
   std::vector<T> xhat_;
 };
 

@@ -13,7 +13,9 @@
 // independent, so passes parallelize across targets.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "interp/interpolation.hpp"
@@ -82,7 +84,15 @@ struct LevelStructure {
   }
 };
 
-/// Runs the sweep over `data` (in level order L..1, pass order as analyzed).
+/// Runs the sweep over `data` (in level order L..1, pass order as analyzed),
+/// addressing elements through explicit per-dimension strides.
+///
+/// With `estrides = ls.dims.strides()` this sweeps a dense array.  Passing
+/// the strides of an *enclosing* field instead sweeps a strided sub-view —
+/// `data` then points at the block's origin element inside the field and
+/// `idx` values handed to the visitor are element offsets relative to that
+/// origin.  Block-parallel compression uses this to sweep each block in
+/// place, without copying it out of the field.
 ///
 /// Visitor signature:  T visit(unsigned level_index, std::size_t slot,
 ///                             std::size_t idx, T predicted)
@@ -91,10 +101,11 @@ struct LevelStructure {
 /// visitors quantize (original − predicted) and return the reconstruction;
 /// decompression visitors return predicted + dequantized difference.
 template <typename T, typename Visitor>
-void interpolation_sweep(T* data, const LevelStructure& ls, InterpKind kind,
-                         Visitor&& visit) {
+void interpolation_sweep_strided(T* data, const LevelStructure& ls,
+                                 InterpKind kind,
+                                 const std::array<std::size_t, kMaxRank>& estrides,
+                                 Visitor&& visit) {
   const Dims& dims = ls.dims;
-  const auto estrides = dims.strides();
   const unsigned rank = static_cast<unsigned>(dims.rank());
   const unsigned L = ls.num_levels;
 
@@ -152,6 +163,14 @@ void interpolation_sweep(T* data, const LevelStructure& ls, InterpKind kind,
       (void)total;
     }
   }
+}
+
+/// Dense-array sweep: strides derived from the level structure's own dims.
+template <typename T, typename Visitor>
+void interpolation_sweep(T* data, const LevelStructure& ls, InterpKind kind,
+                         Visitor&& visit) {
+  interpolation_sweep_strided(data, ls, kind, ls.dims.strides(),
+                              std::forward<Visitor>(visit));
 }
 
 }  // namespace ipcomp

@@ -7,13 +7,29 @@ namespace ipcomp {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x41435049u;  // "IPCA" little-endian
-constexpr std::uint32_t kVersion = 1;
 }  // namespace
+
+std::uint64_t SegmentId::key(std::uint32_t version) const {
+  if (version >= kArchiveV2) {
+    // block is 32-bit and the v2 key gives it 36, so it always fits.
+    if (kind > 0xFF || level > 0xFF || plane > 0xFFF) {
+      throw std::runtime_error("archive: segment id out of range for v2 key");
+    }
+    return (static_cast<std::uint64_t>(kind) << 56) |
+           (static_cast<std::uint64_t>(level) << 48) |
+           (static_cast<std::uint64_t>(plane) << 36) | block;
+  }
+  if (block != 0) {
+    throw std::runtime_error("archive: v1 keys cannot address blocks");
+  }
+  return (static_cast<std::uint64_t>(kind) << 48) |
+         (static_cast<std::uint64_t>(level) << 32) | plane;
+}
 
 Bytes ArchiveBuilder::finish() const {
   ByteWriter w;
   w.u32(kMagic);
-  w.u32(kVersion);
+  w.u32(version_);
   w.varint(header_.size());
   w.bytes(header_);
   w.varint(order_.size());
@@ -31,8 +47,11 @@ ArchiveIndex ArchiveIndex::parse(std::span<const std::uint8_t> head_bytes,
                                  std::size_t total_size) {
   ByteReader r(head_bytes);
   if (r.u32() != kMagic) throw std::runtime_error("archive: bad magic");
-  if (r.u32() != kVersion) throw std::runtime_error("archive: bad version");
   ArchiveIndex idx;
+  idx.version = r.u32();
+  if (idx.version < kArchiveV1 || idx.version > kArchiveV2) {
+    throw std::runtime_error("archive: bad version");
+  }
   idx.total_size = total_size;
   idx.header_length = r.varint();
   idx.header_offset = r.position();
@@ -53,7 +72,10 @@ ArchiveIndex ArchiveIndex::parse(std::span<const std::uint8_t> head_bytes,
   for (auto [key, len] : lengths) {
     // Checked per entry so a huge forged len cannot wrap offset += len.
     if (len > total_size - offset) throw std::runtime_error("archive: truncated");
-    idx.entries[key] = Entry{key, offset, len};
+    // Duplicate keys would silently alias two payload ranges to one id.
+    if (!idx.entries.emplace(key, Entry{key, offset, len}).second) {
+      throw std::runtime_error("archive: duplicate segment key");
+    }
     offset += len;
   }
   return idx;
@@ -77,7 +99,7 @@ const Bytes& MemorySource::header() {
 }
 
 Bytes MemorySource::read_segment(SegmentId id) {
-  auto it = index_.entries.find(id.key());
+  auto it = index_.entries.find(id.key(index_.version));
   if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
   bytes_read_ += it->second.length;
   return Bytes(blob_.begin() + it->second.offset,
@@ -85,11 +107,11 @@ Bytes MemorySource::read_segment(SegmentId id) {
 }
 
 bool MemorySource::has_segment(SegmentId id) const {
-  return index_.entries.contains(id.key());
+  return index_.entries.contains(id.key(index_.version));
 }
 
 std::size_t MemorySource::segment_size(SegmentId id) const {
-  auto it = index_.entries.find(id.key());
+  auto it = index_.entries.find(id.key(index_.version));
   if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
   return it->second.length;
 }
@@ -140,18 +162,18 @@ const Bytes& FileSource::header() {
 }
 
 Bytes FileSource::read_segment(SegmentId id) {
-  auto it = index_.entries.find(id.key());
+  auto it = index_.entries.find(id.key(index_.version));
   if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
   bytes_read_ += it->second.length;
   return read_range(it->second.offset, it->second.length);
 }
 
 bool FileSource::has_segment(SegmentId id) const {
-  return index_.entries.contains(id.key());
+  return index_.entries.contains(id.key(index_.version));
 }
 
 std::size_t FileSource::segment_size(SegmentId id) const {
-  auto it = index_.entries.find(id.key());
+  auto it = index_.entries.find(id.key(index_.version));
   if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
   return it->second.length;
 }

@@ -9,6 +9,11 @@
 //   magic "IPCA" | version u32 | header_len varint | header bytes
 //   | segment_count varint | per segment: (id u64, length varint)
 //   | segment payloads, in table order
+//
+// Two versions exist; they differ only in how SegmentId packs into the u64
+// table key.  v1 has no block axis (kind:16 | level:16 | plane:32); v2 adds
+// one for block-decomposed archives (kind:8 | level:8 | plane:12 | block:36).
+// Readers accept both, keyed off the version word.
 #pragma once
 
 #include <cstdint>
@@ -22,23 +27,37 @@
 
 namespace ipcomp {
 
-/// Identifies one independently-retrievable block of compressed data.
+/// Archive format versions (the u32 after the magic).
+inline constexpr std::uint32_t kArchiveV1 = 1;  // whole-field, no block axis
+inline constexpr std::uint32_t kArchiveV2 = 2;  // block-decomposed fields
+
+/// Identifies one independently-retrievable piece of compressed data.
 /// For IPComp: kind distinguishes base data from bitplanes; `level` is the
-/// interpolation level and `plane` the bitplane index (31 = MSB).
+/// interpolation level, `plane` the bitplane index (31 = MSB) and `block`
+/// the block ordinal of a block-decomposed (v2) archive.
 struct SegmentId {
   std::uint16_t kind = 0;
   std::uint16_t level = 0;
   std::uint32_t plane = 0;
+  std::uint32_t block = 0;
 
-  std::uint64_t key() const {
-    return (static_cast<std::uint64_t>(kind) << 48) |
-           (static_cast<std::uint64_t>(level) << 32) | plane;
-  }
-  static SegmentId from_key(std::uint64_t k) {
+  /// Segment-table key under the given archive version.  v1 predates the
+  /// block axis, so v1 keys require block == 0; v2 narrows the other fields
+  /// (kind < 2^8, level < 2^8, plane < 2^12) to make room for 36 block bits.
+  std::uint64_t key(std::uint32_t version = kArchiveV1) const;
+
+  static SegmentId from_key(std::uint64_t k, std::uint32_t version = kArchiveV1) {
     SegmentId id;
-    id.kind = static_cast<std::uint16_t>(k >> 48);
-    id.level = static_cast<std::uint16_t>(k >> 32);
-    id.plane = static_cast<std::uint32_t>(k);
+    if (version >= kArchiveV2) {
+      id.kind = static_cast<std::uint16_t>(k >> 56);
+      id.level = static_cast<std::uint16_t>((k >> 48) & 0xFF);
+      id.plane = static_cast<std::uint32_t>((k >> 36) & 0xFFF);
+      id.block = static_cast<std::uint32_t>(k & 0xFFFFFFFFFu);
+    } else {
+      id.kind = static_cast<std::uint16_t>(k >> 48);
+      id.level = static_cast<std::uint16_t>(k >> 32);
+      id.plane = static_cast<std::uint32_t>(k);
+    }
     return id;
   }
   bool operator==(const SegmentId&) const = default;
@@ -47,11 +66,15 @@ struct SegmentId {
 /// Builder-side archive: header + segments assembled during compression.
 class ArchiveBuilder {
  public:
+  /// Must be chosen before the first add_segment (keys pack differently).
+  void set_version(std::uint32_t version) { version_ = version; }
+  std::uint32_t version() const { return version_; }
+
   void set_header(Bytes header) { header_ = std::move(header); }
 
   void add_segment(SegmentId id, Bytes payload) {
-    order_.push_back(id.key());
-    segments_[id.key()] = std::move(payload);
+    order_.push_back(id.key(version_));
+    segments_[id.key(version_)] = std::move(payload);
   }
 
   /// Serialize to a single byte stream.
@@ -60,6 +83,7 @@ class ArchiveBuilder {
   std::size_t segment_count() const { return segments_.size(); }
 
  private:
+  std::uint32_t version_ = kArchiveV1;
   Bytes header_;
   std::vector<std::uint64_t> order_;
   std::map<std::uint64_t, Bytes> segments_;
@@ -76,6 +100,8 @@ class SegmentSource {
   virtual Bytes read_segment(SegmentId id) = 0;
   virtual bool has_segment(SegmentId id) const = 0;
   virtual std::size_t segment_size(SegmentId id) const = 0;
+  /// Archive format version parsed from the container.
+  virtual std::uint32_t version() const = 0;
 
   /// Bytes of payload + header actually retrieved so far.
   std::size_t bytes_read() const { return bytes_read_; }
@@ -90,6 +116,7 @@ class SegmentSource {
 
 /// Parses the serialized archive layout; shared by the concrete sources.
 struct ArchiveIndex {
+  std::uint32_t version = kArchiveV1;
   std::size_t header_offset = 0;
   std::size_t header_length = 0;
   struct Entry {
@@ -114,6 +141,7 @@ class MemorySource final : public SegmentSource {
   Bytes read_segment(SegmentId id) override;
   bool has_segment(SegmentId id) const override;
   std::size_t segment_size(SegmentId id) const override;
+  std::uint32_t version() const override { return index_.version; }
   std::size_t total_size() const override { return blob_.size(); }
 
  private:
@@ -132,6 +160,7 @@ class FileSource final : public SegmentSource {
   Bytes read_segment(SegmentId id) override;
   bool has_segment(SegmentId id) const override;
   std::size_t segment_size(SegmentId id) const override;
+  std::uint32_t version() const override { return index_.version; }
   std::size_t total_size() const override { return file_size_; }
 
  private:

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
+#include <mutex>
 
 #if defined(_OPENMP)
 #include <omp.h>
@@ -22,13 +24,26 @@ inline int thread_count() {
 #endif
 }
 
+/// True when called from inside an active parallel region.  Used as a
+/// nested-parallelism guard: parallel_for runs serially in that case, so an
+/// outer loop (e.g. across compression blocks) keeps exclusive use of the
+/// thread pool instead of oversubscribing it with nested teams.
+inline bool in_parallel() {
+#if defined(_OPENMP)
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
 /// Parallel loop over [begin, end); falls back to serial when the trip count
-/// is below `grain` (parallelizing tiny loops costs more than it saves).
+/// is below `grain` (parallelizing tiny loops costs more than it saves) or
+/// when already inside a parallel region (see in_parallel()).
 template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
                   std::size_t grain = 1024) {
 #if defined(_OPENMP)
-  if (end - begin >= grain && omp_get_max_threads() > 1) {
+  if (end - begin >= grain && omp_get_max_threads() > 1 && !in_parallel()) {
     const std::ptrdiff_t b = static_cast<std::ptrdiff_t>(begin);
     const std::ptrdiff_t e = static_cast<std::ptrdiff_t>(end);
 #pragma omp parallel for schedule(static)
@@ -41,6 +56,25 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
   (void)grain;
 #endif
   for (std::size_t i = begin; i < end; ++i) fn(i);
+}
+
+/// parallel_for for bodies that may throw (e.g. decoding untrusted input):
+/// exceptions must not escape an OpenMP region, so the first one thrown is
+/// captured and rethrown on the calling thread after the loop completes.
+template <typename Fn>
+void parallel_for_ex(std::size_t begin, std::size_t end, Fn&& fn,
+                     std::size_t grain = 1024) {
+  std::exception_ptr eptr = nullptr;
+  std::mutex mutex;
+  parallel_for(begin, end, [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!eptr) eptr = std::current_exception();
+    }
+  }, grain);
+  if (eptr) std::rethrow_exception(eptr);
 }
 
 }  // namespace ipcomp

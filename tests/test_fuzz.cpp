@@ -61,6 +61,9 @@ TEST_P(FuzzSeeds, IpcompRandomShapesAndContent) {
     opt.relative = true;
     opt.interp = rng.uniform() < 0.5 ? InterpKind::kCubic : InterpKind::kLinear;
     opt.progressive_threshold = 1 + rng.uniform_u64(8192);
+    // Half the trials run block-decomposed (archive v2) to fuzz the block
+    // pipeline across the same geometry / content / bound space.
+    opt.block_side = rng.uniform() < 0.5 ? 0 : 2 + rng.uniform_u64(30);
     Bytes archive = compress(field.const_view(), opt);
 
     MemorySource src(std::move(archive));
