@@ -4,9 +4,11 @@
 // should lead on (nearly) every dataset.
 //
 // `--json <path>` additionally writes every (eb, dataset, compressor) ratio
-// as JSON; CI merges this into the BENCH_ci.json artifact so the repo keeps
-// a compression-ratio trajectory.  The JSON run also includes the block-
-// decomposed IPComp variant (IPComp-B32) to track the ratio cost of blocking.
+// as JSON with a per-backend dimension ("interp" vs "wavelet" for the IPComp
+// variants); CI merges this into the BENCH_ci.json artifact so the repo
+// keeps a compression-ratio trajectory.  The lineup includes the block-
+// decomposed IPComp variant (IPComp-B32, ratio cost of blocking) and the
+// wavelet-backend variant (IPComp-W32, archive format v3).
 #include <cstring>
 
 #include "bench_common.hpp"
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
 
   auto lineup = evaluation_lineup();
   lineup.push_back(ipcomp_block_variant());
+  lineup.push_back(ipcomp_wavelet_variant());
 
   std::FILE* json = nullptr;
   if (json_path) {
@@ -57,9 +60,10 @@ int main(int argc, char** argv) {
         if (json) {
           std::fprintf(json,
                        "%s\n    {\"eb_relative\": %.0e, \"dataset\": \"%s\", "
-                       "\"compressor\": \"%s\", \"ratio\": %.4f}",
+                       "\"compressor\": \"%s\", \"backend\": \"%s\", "
+                       "\"ratio\": %.4f}",
                        first_row ? "" : ",", rel_eb, spec.name.c_str(),
-                       c->name().c_str(), ratio);
+                       c->name().c_str(), c->backend_label().c_str(), ratio);
           first_row = false;
         }
       }

@@ -9,7 +9,9 @@
 // Block-compare mode (`--block-compare`, or `--json <path>` which also writes
 // the measurements as JSON for CI's BENCH_ci.json artifact) skips the
 // google-benchmark lineup and instead times the block-decomposed pipeline
-// against the legacy whole-field path on one fixed synthetic field:
+// against the legacy whole-field path — plus a per-backend section (interp
+// vs wavelet at the same block side, including a progressive and a region
+// retrieval through the wavelet backend) — on one fixed synthetic field:
 //   IPCOMP_BENCH_SIDE  cubic field side (default 256)
 //   IPCOMP_BENCH_BLOCK block side (default side/4)
 //   IPCOMP_BENCH_REPS  repetitions, best-of (default 3)
@@ -123,13 +125,21 @@ int block_compare(const char* json_path) {
   legacy.error_bound = 1e-6;  // relative to range
   Options blocked = legacy;
   blocked.block_side = block;
+  // The second first-class backend, at the same field and block side: the
+  // per-backend dimension of the CI speed record.  Wavelet compression pays
+  // for its exact per-plane loss tables (one inverse transform per plane).
+  Options wavelet = blocked;
+  wavelet.backend = BackendId::kWavelet;
 
-  Bytes archive_legacy, archive_block;
+  Bytes archive_legacy, archive_block, archive_wavelet;
   StageResult c_legacy = best_of(reps, raw, [&] {
     archive_legacy = compress(field.const_view(), legacy);
   });
   StageResult c_block = best_of(reps, raw, [&] {
     archive_block = compress(field.const_view(), blocked);
+  });
+  StageResult c_wavelet = best_of(reps, raw, [&] {
+    archive_wavelet = compress(field.const_view(), wavelet);
   });
   double sink = 0.0;
   StageResult d_legacy = best_of(reps, raw, [&] {
@@ -144,12 +154,44 @@ int block_compare(const char* json_path) {
     reader.request_full();
     sink += reader.data()[0];
   });
+  StageResult d_wavelet = best_of(reps, raw, [&] {
+    MemorySource src{Bytes(archive_wavelet)};
+    ProgressiveReader<double> reader(src);
+    reader.request_full();
+    sink += reader.data()[0];
+  });
+
+  // Progressive + region retrieval through the same reader API, as the CI
+  // record that the wavelet backend serves partial requests: bytes fraction
+  // loaded for a 1e3x-coarser bound, and for a corner-octant region.
+  double wavelet_eb = 0.0, wavelet_partial_guarantee = 0.0;
+  std::size_t wavelet_partial_bytes = 0, wavelet_region_bytes = 0;
+  {
+    MemorySource src{Bytes(archive_wavelet)};
+    ProgressiveReader<double> reader(src);
+    wavelet_eb = reader.compression_eb();
+    auto st = reader.request_error_bound(1e3 * wavelet_eb);
+    wavelet_partial_bytes = st.bytes_total;
+    wavelet_partial_guarantee = st.guaranteed_error;
+    sink += reader.data()[0];
+  }
+  {
+    MemorySource src{Bytes(archive_wavelet)};
+    ProgressiveReader<double> reader(src);
+    std::array<std::size_t, kMaxRank> lo{}, hi{};
+    for (int i = 0; i < 3; ++i) hi[i] = side / 2;
+    auto st = reader.request_region(lo, hi);
+    wavelet_region_bytes = st.bytes_total;
+    sink += reader.data()[0];
+  }
   if (!std::isfinite(sink)) std::printf("unreachable\n");
 
   const double ratio_legacy = static_cast<double>(raw) /
                               static_cast<double>(archive_legacy.size());
   const double ratio_block = static_cast<double>(raw) /
                              static_cast<double>(archive_block.size());
+  const double ratio_wavelet = static_cast<double>(raw) /
+                               static_cast<double>(archive_wavelet.size());
   const double speedup_c = c_legacy.seconds / c_block.seconds;
   const double speedup_d = d_legacy.seconds / d_block.seconds;
 
@@ -158,13 +200,22 @@ int block_compare(const char* json_path) {
               c_legacy.mb_per_s);
   std::printf("%-20s %12.3f %12.1f\n", "compress block", c_block.seconds,
               c_block.mb_per_s);
+  std::printf("%-20s %12.3f %12.1f\n", "compress wavelet", c_wavelet.seconds,
+              c_wavelet.mb_per_s);
   std::printf("%-20s %12.3f %12.1f\n", "decompress legacy", d_legacy.seconds,
               d_legacy.mb_per_s);
   std::printf("%-20s %12.3f %12.1f\n", "decompress block", d_block.seconds,
               d_block.mb_per_s);
-  std::printf("\nratio: legacy %.2f, block %.2f\n", ratio_legacy, ratio_block);
+  std::printf("%-20s %12.3f %12.1f\n", "decompress wavelet", d_wavelet.seconds,
+              d_wavelet.mb_per_s);
+  std::printf("\nratio: legacy %.2f, block %.2f, wavelet %.2f\n", ratio_legacy,
+              ratio_block, ratio_wavelet);
   std::printf("speedup at %d threads: compress %.2fx, decompress %.2fx\n",
               thread_count(), speedup_c, speedup_d);
+  std::printf("wavelet progressive: %zu/%zu bytes for a 1e3x bound, "
+              "%zu bytes for the corner octant\n",
+              wavelet_partial_bytes, archive_wavelet.size(),
+              wavelet_region_bytes);
   std::printf("(target: >=2x compression speedup at 4 threads, >=256^3)\n");
 
   if (json_path) {
@@ -188,13 +239,36 @@ int block_compare(const char* json_path) {
                  "    \"decompress_block\": {\"seconds\": %.6f, \"mb_per_s\": %.2f}\n"
                  "  },\n"
                  "  \"compression_ratio\": {\"legacy\": %.4f, \"block\": %.4f},\n"
-                 "  \"speedup\": {\"compress\": %.4f, \"decompress\": %.4f}\n"
+                 "  \"speedup\": {\"compress\": %.4f, \"decompress\": %.4f},\n"
+                 "  \"backends\": {\n"
+                 "    \"interp\": {\n"
+                 "      \"compress\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
+                 "      \"decompress\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
+                 "      \"ratio\": %.4f\n"
+                 "    },\n"
+                 "    \"wavelet\": {\n"
+                 "      \"compress\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
+                 "      \"decompress\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
+                 "      \"ratio\": %.4f,\n"
+                 "      \"archive_bytes\": %zu,\n"
+                 "      \"progressive\": {\"target_over_eb\": 1000,"
+                 " \"bytes\": %zu, \"guaranteed_error\": %.6e,"
+                 " \"compression_eb\": %.6e},\n"
+                 "      \"region_octant_bytes\": %zu\n"
+                 "    }\n"
+                 "  }\n"
                  "}\n",
                  side, side, side, raw, thread_count(), block,
                  c_legacy.seconds, c_legacy.mb_per_s, c_block.seconds,
                  c_block.mb_per_s, d_legacy.seconds, d_legacy.mb_per_s,
                  d_block.seconds, d_block.mb_per_s, ratio_legacy, ratio_block,
-                 speedup_c, speedup_d);
+                 speedup_c, speedup_d,
+                 c_block.seconds, c_block.mb_per_s, d_block.seconds,
+                 d_block.mb_per_s, ratio_block,
+                 c_wavelet.seconds, c_wavelet.mb_per_s, d_wavelet.seconds,
+                 d_wavelet.mb_per_s, ratio_wavelet, archive_wavelet.size(),
+                 wavelet_partial_bytes, wavelet_partial_guarantee, wavelet_eb,
+                 wavelet_region_bytes);
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   }

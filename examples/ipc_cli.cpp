@@ -2,16 +2,22 @@
 //
 //   ipc compress <input.raw> <output.ipc> --dims ZxYxX [--type f64|f32]
 //                [--eb 1e-6] [--abs] [--interp cubic|linear] [--block-side N]
+//                [--backend interp|wavelet]
 //   ipc retrieve <archive.ipc> <output.raw>
 //                (--eb E | --bitrate B | --full | --region z0:z1xy0:y1xx0:x1)
 //   ipc info     <archive.ipc>
 //   ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]
 //
 // Raw files are dense row-major little-endian arrays (SDRBench layout).
-// --block-side N compresses in independent N^d blocks (archive format v2):
+// --block-side N compresses in independent N^d blocks (archive format v2+):
 // compression parallelizes across blocks and --region retrieves a sub-box by
-// reading only the blocks that intersect it.
+// reading only the blocks that intersect it.  --backend selects the
+// progressive backend (interp = the paper's interpolation predictor,
+// wavelet = CDF 9/7; wavelet archives use format v3).  Unknown flags and
+// malformed values exit non-zero with a usage hint.
 #include <array>
+#include <cctype>
+#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -33,6 +39,7 @@ using namespace ipcomp;
       "usage:\n"
       "  ipc compress <input.raw> <output.ipc> --dims ZxYxX [--type f64|f32]\n"
       "               [--eb 1e-6] [--abs] [--interp cubic|linear] [--block-side N]\n"
+      "               [--backend interp|wavelet]\n"
       "  ipc retrieve <archive.ipc> <output.raw>\n"
       "               (--eb E | --bitrate B | --full | --region z0:z1xy0:y1xx0:x1)\n"
       "  ipc info     <archive.ipc>\n"
@@ -66,12 +73,57 @@ struct Args {
     return a;
   }
 
+  /// Reject flags the current command does not understand: a typo silently
+  /// ignored (e.g. --bakend) would compress with defaults.
+  void allow_only(std::initializer_list<const char*> allowed) const {
+    for (const auto& [key, value] : flags) {
+      bool ok = false;
+      for (const char* k : allowed) ok = ok || key == k;
+      if (!ok) usage("unknown flag --" + key);
+    }
+  }
+
   std::optional<std::string> get(const std::string& key) const {
     auto it = flags.find(key);
     if (it == flags.end()) return std::nullopt;
     return it->second;
   }
 };
+
+/// Strict numeric flag parsing: the whole token must be consumed and lead
+/// with a digit (stod/stoull would accept whitespace, '+', "nan"), so
+/// "--eb 1e-6x", "--eb nan" or "--block-side ' -1'" fail loudly instead of
+/// truncating, poisoning the quantizer, or wrapping negative.
+double parse_double(const std::string& s, const std::string& flag) {
+  try {
+    const bool leads_ok =
+        !s.empty() && (std::isdigit(static_cast<unsigned char>(s[0])) ||
+                       s[0] == '-' || s[0] == '.');
+    std::size_t pos = 0;
+    double v = leads_ok ? std::stod(s, &pos) : 0.0;
+    if (!leads_ok || pos != s.size() || !std::isfinite(v)) {
+      usage("malformed value '" + s + "' for --" + flag);
+    }
+    return v;
+  } catch (const std::logic_error&) {
+    usage("malformed value '" + s + "' for --" + flag);
+  }
+}
+
+std::size_t parse_size(const std::string& s, const std::string& flag) {
+  try {
+    const bool leads_ok =
+        !s.empty() && std::isdigit(static_cast<unsigned char>(s[0]));
+    std::size_t pos = 0;
+    unsigned long long v = leads_ok ? std::stoull(s, &pos) : 0;
+    if (!leads_ok || pos != s.size()) {
+      usage("malformed value '" + s + "' for --" + flag);
+    }
+    return static_cast<std::size_t>(v);
+  } catch (const std::logic_error&) {
+    usage("malformed value '" + s + "' for --" + flag);
+  }
+}
 
 /// Parse a half-open region spec "lo:hi" per dimension, 'x'-separated, e.g.
 /// "0:64x32:96x0:128".  Must have one lo:hi pair per archive dimension.
@@ -86,8 +138,8 @@ parse_region(const std::string& spec, std::size_t rank) {
     std::string part = spec.substr(pos, next == std::string::npos ? next : next - pos);
     std::size_t colon = part.find(':');
     if (colon == std::string::npos) usage("--region wants lo:hi per dimension");
-    lo[dim] = std::stoull(part.substr(0, colon));
-    hi[dim] = std::stoull(part.substr(colon + 1));
+    lo[dim] = parse_size(part.substr(0, colon), "region");
+    hi[dim] = parse_size(part.substr(colon + 1), "region");
     ++dim;
     if (next == std::string::npos) break;
     pos = next + 1;
@@ -104,7 +156,7 @@ Dims parse_dims(const std::string& spec) {
     if (rank >= kMaxRank) usage("too many dimensions in --dims");
     std::size_t next = spec.find('x', pos);
     std::string part = spec.substr(pos, next == std::string::npos ? next : next - pos);
-    extents[rank++] = std::stoull(part);
+    extents[rank++] = parse_size(part, "dims");
     if (next == std::string::npos) break;
     pos = next + 1;
   }
@@ -137,12 +189,24 @@ int do_compress(const Args& a) {
   auto values = read_raw<T>(a.positional[0], dims.count());
 
   Options opt;
-  opt.error_bound = a.get("eb") ? std::stod(*a.get("eb")) : 1e-6;
+  opt.error_bound = a.get("eb") ? parse_double(*a.get("eb"), "eb") : 1e-6;
   opt.relative = !a.get("abs");
-  opt.interp = a.get("interp") == std::optional<std::string>("linear")
-                   ? InterpKind::kLinear
-                   : InterpKind::kCubic;
-  opt.block_side = a.get("block-side") ? std::stoull(*a.get("block-side")) : 0;
+  if (auto interp = a.get("interp")) {
+    if (*interp == "linear") {
+      opt.interp = InterpKind::kLinear;
+    } else if (*interp == "cubic") {
+      opt.interp = InterpKind::kCubic;
+    } else {
+      usage("unknown interpolation '" + *interp + "' (cubic|linear)");
+    }
+  }
+  if (auto backend = a.get("backend")) {
+    const ProgressiveBackend* be = backend_by_name(*backend);
+    if (!be) usage("unknown backend '" + *backend + "' (interp|wavelet)");
+    opt.backend = be->id();
+  }
+  opt.block_side =
+      a.get("block-side") ? parse_size(*a.get("block-side"), "block-side") : 0;
   Bytes archive = compress(NdConstView<T>(values.data(), dims), opt);
   write_file(a.positional[1], archive);
 
@@ -163,9 +227,9 @@ int do_retrieve(const Args& a) {
   if (a.get("full")) {
     st = reader.request_full();
   } else if (a.get("eb")) {
-    st = reader.request_error_bound(std::stod(*a.get("eb")));
+    st = reader.request_error_bound(parse_double(*a.get("eb"), "eb"));
   } else if (a.get("bitrate")) {
-    st = reader.request_bitrate(std::stod(*a.get("bitrate")));
+    st = reader.request_bitrate(parse_double(*a.get("bitrate"), "bitrate"));
   } else if (a.get("region")) {
     auto [lo, hi] =
         parse_region(*a.get("region"), reader.header().dims.rank());
@@ -187,6 +251,8 @@ int do_info(const Args& a) {
   std::cout << "dims        : " << h.dims.to_string() << "\n"
             << "type        : " << (h.dtype == DataType::kFloat64 ? "f64" : "f32")
             << "\n"
+            << "format      : v" << static_cast<int>(h.format) << "\n"
+            << "backend     : " << to_string(h.backend) << "\n"
             << "error bound : " << TableReporter::sci(h.eb) << " (absolute)\n"
             << "interpolation: " << to_string(h.interp) << "\n"
             << "prefix bits : " << h.prefix_bits << "\n"
@@ -202,7 +268,7 @@ int do_info(const Args& a) {
       }
     }
     std::cout << "block side  : " << h.block_side << " ("
-              << h.block_levels.size() << " blocks, format v2)\n"
+              << h.block_levels.size() << " blocks)\n"
               << "values      : " << values << " (" << outliers
               << " outliers)\n";
     return 0;
@@ -237,14 +303,20 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   Args args = Args::parse(argc, argv);
+  if (auto t = args.get("type"); t && *t != "f32" && *t != "f64") {
+    usage("unknown type '" + *t + "' (f64|f32)");
+  }
   const bool f32 = args.get("type") == std::optional<std::string>("f32");
 
   try {
     if (cmd == "compress") {
+      args.allow_only({"dims", "type", "eb", "abs", "interp", "block-side",
+                       "backend"});
       if (args.positional.size() != 2 || !args.get("dims")) usage();
       return f32 ? do_compress<float>(args) : do_compress<double>(args);
     }
     if (cmd == "retrieve") {
+      args.allow_only({"eb", "bitrate", "full", "region"});
       if (args.positional.size() != 2) usage();
       // Value type is recorded in the archive; probe it.
       FileSource probe(args.positional[0]);
@@ -252,10 +324,12 @@ int main(int argc, char** argv) {
       return is32 ? do_retrieve<float>(args) : do_retrieve<double>(args);
     }
     if (cmd == "info") {
+      args.allow_only({});
       if (args.positional.size() != 1) usage();
       return do_info(args);
     }
     if (cmd == "stats") {
+      args.allow_only({"dims", "type"});
       if (args.positional.size() != 2 || !args.get("dims")) usage();
       return f32 ? do_stats<float>(args) : do_stats<double>(args);
     }

@@ -23,6 +23,10 @@ class Compressor {
 
   virtual std::string name() const = 0;
 
+  /// Progressive-backend label for bench reporting ("interp"/"wavelet" for
+  /// IPComp variants, "-" for external baselines).
+  virtual std::string backend_label() const { return "-"; }
+
   /// Compress with an absolute error bound.
   virtual Bytes compress(NdConstView<double> data, double eb_abs) = 0;
 

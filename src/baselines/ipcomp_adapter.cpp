@@ -13,6 +13,10 @@
 
 namespace ipcomp {
 
+std::string IpcompAdapter::backend_label() const {
+  return to_string(opt_.backend);
+}
+
 Bytes IpcompAdapter::compress(NdConstView<double> data, double eb_abs) {
   Options opt = opt_;
   opt.error_bound = eb_abs;
@@ -68,12 +72,22 @@ std::shared_ptr<ProgressiveCompressor> ipcomp_block_variant() {
   return std::make_shared<IpcompAdapter>(opt, ReaderConfig{}, "IPComp-B32");
 }
 
+std::shared_ptr<ProgressiveCompressor> ipcomp_wavelet_variant() {
+  Options opt;
+  opt.backend = BackendId::kWavelet;
+  opt.block_side = 32;
+  return std::make_shared<IpcompAdapter>(opt, ReaderConfig{}, "IPComp-W32");
+}
+
+
 std::vector<std::shared_ptr<ProgressiveCompressor>> speed_lineup() {
   auto lineup = evaluation_lineup();
   lineup.push_back(std::make_shared<ResidualCompressor>(
       std::make_shared<SperrCompressor>(), "SPERR-R"));
   // Block-decomposed IPComp (archive v2): the speed study's parallel variant.
   lineup.push_back(ipcomp_block_variant());
+  // Wavelet backend (archive v3): the per-backend dimension of the study.
+  lineup.push_back(ipcomp_wavelet_variant());
   return lineup;
 }
 

@@ -20,6 +20,7 @@ class IpcompAdapter final : public ProgressiveCompressor {
   }
 
   std::string name() const override { return name_; }
+  std::string backend_label() const override;
   Bytes compress(NdConstView<double> data, double eb_abs) override;
   std::vector<double> decompress(const Bytes& archive) override;
   Retrieval retrieve_error(const Bytes& archive, double target) override;
@@ -41,6 +42,10 @@ std::vector<std::shared_ptr<ProgressiveCompressor>> speed_lineup();
 /// Block-decomposed IPComp (archive v2) at the benchmarks' canonical block
 /// side; shared so fig5/fig8/CI all track the same variant.
 std::shared_ptr<ProgressiveCompressor> ipcomp_block_variant();
+
+/// IPComp's wavelet backend (archive v3) at the same canonical block side;
+/// the second first-class backend behind the ProgressiveBackend seam.
+std::shared_ptr<ProgressiveCompressor> ipcomp_wavelet_variant();
 
 /// Residual compressor factory (for the Fig. 9 residual-count sweep).
 std::shared_ptr<ProgressiveCompressor> make_residual(const std::string& base,

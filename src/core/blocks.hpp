@@ -14,11 +14,27 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 
 #include "util/dims.hpp"
 
 namespace ipcomp {
+
+/// Element offset within the enclosing field of dense line `line` of a block
+/// with extents `bd`, where lines run along the (contiguous) last dimension.
+/// Shared by every backend's dense-buffer <-> strided-field walks.
+inline std::size_t block_line_offset(
+    const Dims& bd, const std::array<std::size_t, kMaxRank>& field_strides,
+    std::size_t line) {
+  std::size_t rem = line;
+  std::size_t off = 0;
+  for (std::size_t j = bd.rank() - 1; j-- > 0;) {
+    off += (rem % bd[j]) * field_strides[j];
+    rem /= bd[j];
+  }
+  return off;
+}
 
 struct BlockGrid {
   Dims field_dims;
@@ -43,6 +59,12 @@ struct BlockGrid {
       g.grid[i] = block_side == 0
                       ? 1
                       : dims[i] / block_side + (dims[i] % block_side != 0);
+      // The product must not wrap either: forged headers with huge dims and
+      // a tiny block side could otherwise alias to a small (even zero) block
+      // count and slip past the table-matches-geometry check in parse.
+      if (g.grid[i] != 0 && g.n_blocks > SIZE_MAX / g.grid[i]) {
+        throw std::runtime_error("ipcomp: block grid too large");
+      }
       g.n_blocks *= g.grid[i];
     }
     return g;

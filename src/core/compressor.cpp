@@ -1,29 +1,18 @@
 #include "core/compressor.hpp"
 
 #include <algorithm>
-#include <bit>
-#include <mutex>
+#include <cmath>
 #include <stdexcept>
 
-#include "bitplane/bitplane.hpp"
-#include "bitplane/negabinary.hpp"
-#include "bitplane/predictive.hpp"
-#include "coding/codec.hpp"
+#include "core/backend.hpp"
 #include "core/blocks.hpp"
 #include "core/header.hpp"
-#include "interp/sweep.hpp"
 #include "io/archive.hpp"
-#include "quant/quantizer.hpp"
 #include "util/parallel.hpp"
 
 namespace ipcomp {
 
 namespace {
-
-struct LevelScratch {
-  std::vector<std::uint32_t> codes;                        // negabinary
-  std::vector<std::pair<std::uint64_t, double>> outliers;  // slot -> raw value
-};
 
 template <typename T>
 std::pair<double, double> min_max(NdConstView<T> v) {
@@ -43,144 +32,11 @@ std::pair<double, double> min_max(NdConstView<T> v) {
   return {lo, hi};
 }
 
-Bytes serialize_base_segment(const LevelScratch& ls, bool progressive, bool try_lzh) {
-  ByteWriter w;
-  w.varint(ls.outliers.size());
-  std::uint64_t prev = 0;
-  for (auto [slot, value] : ls.outliers) {
-    w.varint(slot - prev);
-    w.f64(value);
-    prev = slot;
-  }
-  if (!progressive) {
-    // Solid level: store the whole code array through the codec.
-    Bytes raw(ls.codes.size() * 4);
-    for (std::size_t i = 0; i < ls.codes.size(); ++i) {
-      std::uint32_t c = ls.codes[i];
-      raw[4 * i + 0] = static_cast<std::uint8_t>(c);
-      raw[4 * i + 1] = static_cast<std::uint8_t>(c >> 8);
-      raw[4 * i + 2] = static_cast<std::uint8_t>(c >> 16);
-      raw[4 * i + 3] = static_cast<std::uint8_t>(c >> 24);
-    }
-    Bytes packed = codec_compress({raw.data(), raw.size()}, try_lzh);
-    w.varint(packed.size());
-    w.bytes(packed);
-  }
-  return w.take();
-}
-
-/// One block's compressed output: its level table plus its segments in
-/// deterministic (level, plane) order.  Blocks are assembled concurrently
-/// into a pre-sized vector indexed by block ordinal, so the archive layout
-/// is byte-identical regardless of thread count.
-struct BlockResult {
-  std::vector<LevelHeader> levels;
-  std::vector<std::pair<SegmentId, Bytes>> segments;
-};
-
-/// Full per-block pipeline: interpolation sweep (in-loop quantization) →
-/// negabinary codes + outliers → bitplane split → predictive XOR → codec.
-/// `original` and `xhat` point at the block's origin element; `estrides` are
-/// the strides of the enclosing field, so the sweep addresses the block as a
-/// strided sub-view in place.
-template <typename T>
-BlockResult compress_block(const T* original, T* xhat, const LevelStructure& ls,
-                           const std::array<std::size_t, kMaxRank>& estrides,
-                           double eb, const Options& opt, std::uint32_t block) {
-  const unsigned L = ls.num_levels;
-  const LinearQuantizer quant(eb);
-
-  std::vector<LevelScratch> levels(L);
-  for (unsigned li = 0; li < L; ++li) {
-    levels[li].codes.assign(ls.level_count[li], 0);
-  }
-
-  // Outlier lists are per block; the mutex only matters in whole-field mode,
-  // where the sweep's line loop is the parallel one.  In block mode the
-  // nested-parallelism guard keeps this sweep serial and the lock free.
-  std::mutex outlier_mutex;
-
-  // In-loop quantization: the working buffer holds reconstructed values so
-  // predictions see exactly what decompression will see.
-  interpolation_sweep_strided(
-      xhat, ls, opt.interp, estrides,
-      [&](unsigned li, std::size_t slot, std::size_t idx, T pred) -> T {
-        std::int64_t code;
-        T recon;
-        if (quant.quantize(original[idx], pred, code, recon)) {
-          levels[li].codes[slot] = negabinary_encode(code);
-          return recon;
-        }
-        {
-          std::lock_guard<std::mutex> lock(outlier_mutex);
-          levels[li].outliers.emplace_back(slot,
-                                           static_cast<double>(original[idx]));
-        }
-        return original[idx];
-      });
-
-  BlockResult out;
-  out.levels.resize(L);
-
-  for (unsigned li = 0; li < L; ++li) {
-    LevelScratch& scratch = levels[li];
-    // Slots are unique per level, so sorting makes the outlier order (and
-    // with it the serialized bytes) independent of sweep scheduling.
-    std::sort(scratch.outliers.begin(), scratch.outliers.end());
-    LevelHeader& lh = out.levels[li];
-    lh.count = scratch.codes.size();
-    lh.outlier_count = scratch.outliers.size();
-    lh.progressive = scratch.codes.size() >= opt.progressive_threshold;
-
-    const std::uint16_t level_tag = static_cast<std::uint16_t>(li + 1);
-    if (!lh.progressive) {
-      lh.n_planes = 0;
-      lh.loss.assign(1, 0);
-      out.segments.emplace_back(
-          SegmentId{kSegBase, level_tag, 0, block},
-          serialize_base_segment(scratch, false, opt.try_lzh));
-      continue;
-    }
-
-    std::uint32_t all = 0;
-    for (std::uint32_t c : scratch.codes) all |= c;
-    const unsigned n_planes = all == 0 ? 0 : 32 - std::countl_zero(all);
-    lh.n_planes = n_planes;
-
-    auto loss = truncation_loss_table(scratch.codes);
-    lh.loss.resize(n_planes + 1);
-    for (unsigned d = 0; d <= n_planes; ++d) {
-      lh.loss[d] = static_cast<std::uint64_t>(loss[d]);
-    }
-
-    out.segments.emplace_back(
-        SegmentId{kSegBase, level_tag, 0, block},
-        serialize_base_segment(scratch, true, opt.try_lzh));
-
-    if (n_planes > 0) {
-      auto planes = extract_all_planes(scratch.codes);
-      std::vector<Bytes> packed(n_planes);
-      parallel_for(0, n_planes, [&](std::size_t k) {
-        Bytes encoded = opt.prefix_bits == 0
-                            ? planes[k]
-                            : predictive_encode_plane(scratch.codes, planes[k],
-                                                      static_cast<unsigned>(k),
-                                                      opt.prefix_bits);
-        packed[k] = codec_compress({encoded.data(), encoded.size()}, opt.try_lzh);
-      }, /*grain=*/1);
-      for (unsigned k = 0; k < n_planes; ++k) {
-        out.segments.emplace_back(SegmentId{kSegPlane, level_tag, k, block},
-                                  std::move(packed[k]));
-      }
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 double resolve_error_bound(const Options& opt, double data_min, double data_max) {
-  if (opt.error_bound <= 0.0) {
+  // Negated comparison so NaN bounds are rejected too, not quantized with.
+  if (!(opt.error_bound > 0.0) || !std::isfinite(opt.error_bound)) {
     throw std::invalid_argument("ipcomp: error bound must be positive");
   }
   if (!opt.relative) return opt.error_bound;
@@ -197,6 +53,7 @@ double resolve_error_bound(NdConstView<T> input, const Options& opt) {
 
 template <typename T>
 Bytes compress(NdConstView<T> input, const Options& opt) {
+  const ProgressiveBackend& backend = backend_for(opt.backend);
   const Dims dims = input.dims();
   // Any side >= the largest extent yields one block per dimension, so clamp
   // there: the header stores the side as u32, and grid and header must
@@ -214,7 +71,14 @@ Bytes compress(NdConstView<T> input, const Options& opt) {
   auto [lo, hi] = min_max(input);
   const double eb = resolve_error_bound(opt, lo, hi);
 
-  std::vector<T> xhat(input.span().begin(), input.span().end());
+  // The work buffer is a mutable copy of the field (interp keeps its in-loop
+  // reconstruction there); transform backends never touch it, so skip the
+  // field-sized allocation for them.
+  std::vector<T> xhat;
+  if (backend.needs_work_buffer()) {
+    xhat.assign(input.span().begin(), input.span().end());
+  }
+  T* const work = xhat.empty() ? nullptr : xhat.data();
   const T* original = input.data();
   const auto estrides = dims.strides();
 
@@ -227,16 +91,24 @@ Bytes compress(NdConstView<T> input, const Options& opt) {
   header.data_min = lo;
   header.data_max = hi;
   header.block_side = static_cast<std::uint32_t>(block_side);
+  header.backend = opt.backend;
+  header.backend_meta = backend.metadata(header);
 
+  // The interpolation backend keeps writing the original self-describing
+  // v1/v2 containers; any other backend needs the v3 header (backend id +
+  // metadata) and therefore the v3 container.
   ArchiveBuilder builder;
-  builder.set_version(block_side == 0 ? kArchiveV1 : kArchiveV2);
+  if (opt.backend == BackendId::kInterp) {
+    builder.set_version(block_side == 0 ? kArchiveV1 : kArchiveV2);
+  } else {
+    builder.set_version(kArchiveV3);
+  }
 
   if (block_side == 0) {
-    // Legacy whole-field mode: one block spanning the field; the sweep and
-    // plane codecs parallelize internally.
-    BlockResult res = compress_block(original, xhat.data(),
-                                     LevelStructure::analyze(dims), estrides,
-                                     eb, opt, 0);
+    // Legacy whole-field mode: one block spanning the field; the backend's
+    // inner loops parallelize.
+    BlockCompressResult res =
+        backend.compress_block(original, work, dims, estrides, eb, opt, 0);
     header.levels = std::move(res.levels);
     for (auto& [id, payload] : res.segments) {
       builder.add_segment(id, std::move(payload));
@@ -245,13 +117,13 @@ Bytes compress(NdConstView<T> input, const Options& opt) {
     // Block mode: the whole pipeline runs per block, concurrently.  grain=2
     // keeps a lone block out of a parallel region so its inner loops can
     // still use the pool.
-    std::vector<BlockResult> results(grid.n_blocks);
+    std::vector<BlockCompressResult> results(grid.n_blocks);
     parallel_for(0, grid.n_blocks, [&](std::size_t b) {
       const std::size_t org = grid.origin_linear(b);
-      results[b] = compress_block(original + org, xhat.data() + org,
-                                  LevelStructure::analyze(grid.block_dims(b)),
-                                  estrides, eb, opt,
-                                  static_cast<std::uint32_t>(b));
+      results[b] = backend.compress_block(original + org,
+                                          work ? work + org : nullptr,
+                                          grid.block_dims(b), estrides, eb,
+                                          opt, static_cast<std::uint32_t>(b));
     }, /*grain=*/2);
     header.block_levels.resize(grid.n_blocks);
     for (std::size_t b = 0; b < grid.n_blocks; ++b) {

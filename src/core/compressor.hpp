@@ -1,8 +1,11 @@
-// IPComp compression pipeline (paper §4).
+// IPComp compression driver (paper §4).
 //
-// original → interpolation predictor (in-loop quantization, per-level
-// negabinary codes + outliers) → per-level bitplane split → predictive XOR
-// coding → per-plane codec → segmented archive.
+// original → per-block ProgressiveBackend pipeline (Options::backend;
+// interp = interpolation predictor with in-loop quantization, wavelet =
+// CDF 9/7 transform; both end in per-level negabinary codes + outliers →
+// bitplane split → predictive XOR → per-plane codec) → segmented archive.
+// The driver owns what is backend-agnostic: bound resolution, block
+// decomposition and scheduling, header assembly, container versioning.
 #pragma once
 
 #include "core/options.hpp"

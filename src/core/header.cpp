@@ -11,6 +11,8 @@ namespace {
 /// First byte of a v2+ header blob.  v1 blobs start with the dtype byte
 /// (0 or 1), so any first byte >= 2 unambiguously marks a tagged version.
 constexpr std::uint8_t kHeaderV2Tag = 2;
+/// v3 blobs additionally carry a backend id and an opaque metadata blob.
+constexpr std::uint8_t kHeaderV3Tag = 3;
 
 void write_levels(ByteWriter& w, const std::vector<LevelHeader>& levels) {
   w.varint(levels.size());
@@ -48,8 +50,16 @@ std::vector<LevelHeader> read_levels(ByteReader& r) {
 
 Bytes Header::serialize() const {
   ByteWriter w;
-  const bool v2 = block_side != 0;
-  if (v2) w.u8(kHeaderV2Tag);
+  const bool v3 = backend != BackendId::kInterp;
+  const bool v2 = !v3 && block_side != 0;
+  if (v3) {
+    w.u8(kHeaderV3Tag);
+    w.u8(static_cast<std::uint8_t>(backend));
+    w.varint(backend_meta.size());
+    w.bytes(backend_meta);
+  } else if (v2) {
+    w.u8(kHeaderV2Tag);
+  }
   w.u8(static_cast<std::uint8_t>(dtype));
   w.u8(static_cast<std::uint8_t>(dims.rank()));
   for (std::size_t i = 0; i < dims.rank(); ++i) w.varint(dims[i]);
@@ -58,11 +68,15 @@ Bytes Header::serialize() const {
   w.u8(static_cast<std::uint8_t>(prefix_bits));
   w.f64(data_min);
   w.f64(data_max);
-  if (!v2) {
+  if (!v2 && !v3) {
     write_levels(w, levels);
     return w.take();
   }
   w.varint(block_side);
+  if (v3 && block_side == 0) {
+    write_levels(w, levels);
+    return w.take();
+  }
   w.varint(block_levels.size());
   for (const auto& bl : block_levels) write_levels(w, bl);
   return w.take();
@@ -74,10 +88,24 @@ Header Header::parse(const Bytes& raw) {
   std::uint8_t first = r.u8();
   std::uint8_t format = 1;
   if (first >= kHeaderV2Tag) {
-    if (first != kHeaderV2Tag) throw std::runtime_error("header: bad format tag");
+    if (first > kHeaderV3Tag) throw std::runtime_error("header: bad format tag");
     format = first;
+    if (format == kHeaderV3Tag) {
+      const std::uint8_t backend = r.u8();
+      if (!backend_id_known(backend)) {
+        throw std::runtime_error("header: unknown backend id");
+      }
+      h.backend = static_cast<BackendId>(backend);
+      std::size_t meta_len = r.varint();
+      if (meta_len > r.remaining()) {
+        throw std::runtime_error("header: bad backend metadata length");
+      }
+      auto meta = r.bytes(meta_len);
+      h.backend_meta.assign(meta.begin(), meta.end());
+    }
     first = r.u8();
   }
+  h.format = format;
   h.dtype = static_cast<DataType>(first);
   if (h.dtype != DataType::kFloat32 && h.dtype != DataType::kFloat64) {
     throw std::runtime_error("header: bad data type");
@@ -97,11 +125,15 @@ Header Header::parse(const Bytes& raw) {
     return h;
   }
   h.block_side = static_cast<std::uint32_t>(r.varint());
+  if (format == kHeaderV3Tag && h.block_side == 0) {
+    h.levels = read_levels(r);
+    return h;
+  }
   std::size_t n_blocks = r.varint();
   // The block table must match the geometry derived from dims + block_side;
   // that also rejects forged counts before they drive the resize() below.
   // BlockGrid::analyze throws for block_side == 1 (and parse already rejects
-  // 0 here, which would make the v2 table inconsistent with a v1 layout).
+  // 0 in the v2 layout, which would make the table inconsistent with v1).
   if (h.block_side == 0) throw std::runtime_error("header: bad block side");
   BlockGrid grid = BlockGrid::analyze(h.dims, h.block_side);
   if (n_blocks != grid.n_blocks) {

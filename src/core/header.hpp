@@ -14,6 +14,15 @@ namespace ipcomp {
 
 enum class DataType : std::uint8_t { kFloat32 = 0, kFloat64 = 1 };
 
+/// Progressive-backend identifier stored in v3 archive headers.  The backend
+/// owns the per-block transform -> quantize -> bitplane pipeline; see
+/// core/backend.hpp for the interface and registry.
+enum class BackendId : std::uint8_t { kInterp = 0, kWavelet = 1 };
+
+/// True when `id` names a registered backend (defined with the registry in
+/// backend.cpp; used by Header::parse to reject forged backend ids).
+bool backend_id_known(std::uint8_t id);
+
 template <typename T>
 constexpr DataType data_type_of();
 template <>
@@ -24,6 +33,9 @@ constexpr DataType data_type_of<double>() { return DataType::kFloat64; }
 /// Archive segment kinds (SegmentId::kind).
 inline constexpr std::uint16_t kSegBase = 0;   // outliers (+ codes if solid)
 inline constexpr std::uint16_t kSegPlane = 1;  // one bitplane of one level
+/// Backend-defined per-block auxiliary data, fetched with the base segments
+/// (e.g. the wavelet backend's spatial correction list).  v3 archives only.
+inline constexpr std::uint16_t kSegAux = 2;
 
 struct LevelHeader {
   std::uint64_t count = 0;       // elements (slots) at this level
@@ -43,9 +55,18 @@ struct Header {
   std::uint32_t prefix_bits = 2;
   double data_min = 0.0;
   double data_max = 0.0;
-  /// Block decomposition side length (archive format v2); 0 = whole-field
+  /// Block decomposition side length (archive format v2+); 0 = whole-field
   /// archive described by `levels` alone.
   std::uint32_t block_side = 0;
+  /// Progressive backend that produced (and can decode) the payload.  The
+  /// interpolation backend keeps writing the v1/v2 layouts; any other backend
+  /// forces the v3 layout, which records the id plus an opaque metadata blob
+  /// the backend validates and interprets itself.
+  BackendId backend = BackendId::kInterp;
+  Bytes backend_meta;
+  /// Layout the header was parsed from (1, 2 or 3).  Output of parse() only;
+  /// serialize() derives the layout from `backend` and `block_side`.
+  std::uint8_t format = 1;
   /// Index 0 = finest level (level 1 in the paper's numbering).  Used when
   /// block_side == 0.
   std::vector<LevelHeader> levels;
@@ -54,9 +75,10 @@ struct Header {
   /// (BlockGrid), so only the level tables are serialized.
   std::vector<std::vector<LevelHeader>> block_levels;
 
-  /// Self-versioned: whole-field headers serialize in the v1 layout
-  /// (first byte = dtype, 0 or 1), block headers prepend a format tag
-  /// byte >= 2.  parse() distinguishes them by that first byte.
+  /// Self-versioned: whole-field interp headers serialize in the v1 layout
+  /// (first byte = dtype, 0 or 1), block interp headers prepend a format tag
+  /// byte 2, and non-interp backends prepend tag 3 followed by the backend id
+  /// and metadata blob.  parse() distinguishes them by that first byte.
   Bytes serialize() const;
   static Header parse(const Bytes& raw);
 };

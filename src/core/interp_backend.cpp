@@ -1,0 +1,207 @@
+#include "core/interp_backend.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "bitplane/bitplane.hpp"
+#include "bitplane/negabinary.hpp"
+#include "core/blocks.hpp"
+#include "interp/sweep.hpp"
+#include "quant/quantizer.hpp"
+#include "util/parallel.hpp"
+
+namespace ipcomp {
+
+namespace {
+
+/// Full per-block pipeline: interpolation sweep (in-loop quantization) →
+/// negabinary codes + outliers → bitplane split → predictive XOR → codec.
+/// `original` and `work` point at the block's origin element; `estrides` are
+/// the strides of the enclosing field, so the sweep addresses the block as a
+/// strided sub-view in place.
+template <typename T>
+BlockCompressResult compress_impl(const T* original, T* work,
+                                  const Dims& block_dims,
+                                  const std::array<std::size_t, kMaxRank>& estrides,
+                                  double eb, const Options& opt,
+                                  std::uint32_t block) {
+  const LevelStructure ls = LevelStructure::analyze(block_dims);
+  const unsigned L = ls.num_levels;
+  const LinearQuantizer quant(eb);
+
+  std::vector<LevelScratch> levels(L);
+  for (unsigned li = 0; li < L; ++li) {
+    levels[li].codes.assign(ls.level_count[li], 0);
+  }
+
+  // Outlier lists are per block; the mutex only matters in whole-field mode,
+  // where the sweep's line loop is the parallel one.  In block mode the
+  // nested-parallelism guard keeps this sweep serial and the lock free.
+  std::mutex outlier_mutex;
+
+  // In-loop quantization: the working buffer holds reconstructed values so
+  // predictions see exactly what decompression will see.
+  interpolation_sweep_strided(
+      work, ls, opt.interp, estrides,
+      [&](unsigned li, std::size_t slot, std::size_t idx, T pred) -> T {
+        std::int64_t code;
+        T recon;
+        if (quant.quantize(original[idx], pred, code, recon)) {
+          levels[li].codes[slot] = negabinary_encode(code);
+          return recon;
+        }
+        {
+          std::lock_guard<std::mutex> lock(outlier_mutex);
+          levels[li].outliers.emplace_back(slot,
+                                           static_cast<double>(original[idx]));
+        }
+        return original[idx];
+      });
+
+  BlockCompressResult out;
+  out.levels.resize(L);
+
+  for (unsigned li = 0; li < L; ++li) {
+    LevelScratch& scratch = levels[li];
+    // Slots are unique per level, so sorting makes the outlier order (and
+    // with it the serialized bytes) independent of sweep scheduling.
+    std::sort(scratch.outliers.begin(), scratch.outliers.end());
+    LevelHeader& lh = out.levels[li];
+    lh.count = scratch.codes.size();
+    lh.outlier_count = scratch.outliers.size();
+    lh.progressive = scratch.codes.size() >= opt.progressive_threshold;
+
+    const std::uint16_t level_tag = static_cast<std::uint16_t>(li + 1);
+    if (!lh.progressive) {
+      lh.n_planes = 0;
+      lh.loss.assign(1, 0);
+      out.segments.emplace_back(
+          SegmentId{kSegBase, level_tag, 0, block},
+          serialize_base_segment(scratch, false, opt.try_lzh));
+      continue;
+    }
+
+    const unsigned n_planes = plane_count(scratch.codes);
+    lh.n_planes = n_planes;
+
+    auto loss = truncation_loss_table(scratch.codes);
+    lh.loss.resize(n_planes + 1);
+    for (unsigned d = 0; d <= n_planes; ++d) {
+      lh.loss[d] = static_cast<std::uint64_t>(loss[d]);
+    }
+
+    out.segments.emplace_back(
+        SegmentId{kSegBase, level_tag, 0, block},
+        serialize_base_segment(scratch, true, opt.try_lzh));
+
+    append_plane_segments(scratch.codes, n_planes, level_tag, block, opt,
+                          out.segments);
+  }
+  return out;
+}
+
+/// First reconstruction: a full sweep from the (partial) codes, outliers
+/// restored exactly (Algorithm 1).
+template <typename T>
+void reconstruct_impl(const Header& h, const BlockCodes& bc, T* field) {
+  const LevelStructure ls = LevelStructure::analyze(bc.dims);
+  const LinearQuantizer quant(h.eb);
+  interpolation_sweep_strided(
+      field + bc.origin, ls, h.interp, h.dims.strides(),
+      [&](unsigned li, std::size_t slot, std::size_t /*idx*/, T pred) -> T {
+        double raw;
+        if (block_outlier(bc, li, slot, raw)) return static_cast<T>(raw);
+        return quant.dequantize(pred, negabinary_decode(bc.codes[li][slot]));
+      });
+}
+
+/// Refinement: sweep only the newly added code bits into a block-local
+/// dense delta buffer, then add it onto the block's strided span of the
+/// field — the cost stays proportional to the block, not the field (matters
+/// for request_region).  Always swept in double so incremental refinement of
+/// float archives loses at most one rounding at the final addition.
+template <typename T>
+void refine_impl(const Header& h, const BlockCodes& bc,
+                 const std::vector<std::vector<std::uint32_t>>& delta,
+                 T* field) {
+  const LevelStructure ls = LevelStructure::analyze(bc.dims);
+  const double step = 2.0 * h.eb;
+  std::vector<double> dblock(ls.dims.count(), 0.0);
+  interpolation_sweep(
+      dblock.data(), ls, h.interp,
+      [&](unsigned li, std::size_t slot, std::size_t /*idx*/,
+          double pred) -> double {
+        double raw;
+        if (block_outlier(bc, li, slot, raw)) return 0.0;  // outliers are exact
+        if (delta[li].empty()) {
+          return pred;  // no new bits at this level
+        }
+        const double dy =
+            static_cast<double>(negabinary_decode(delta[li][slot])) * step;
+        return pred + dy;
+      });
+
+  const auto field_strides = h.dims.strides();
+  const Dims& bd = ls.dims;
+  const std::size_t row = bd[bd.rank() - 1];  // contiguous in the field too
+  const std::size_t lines = bd.count() / row;
+  parallel_for(0, lines, [&](std::size_t line) {
+    const double* src = dblock.data() + line * row;
+    T* dst = field + bc.origin + block_line_offset(bd, field_strides, line);
+    for (std::size_t i = 0; i < row; ++i) {
+      dst[i] = static_cast<T>(static_cast<double>(dst[i]) + src[i]);
+    }
+  }, /*grain=*/std::max<std::size_t>(1, 32768 / row));
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> InterpBackend::level_counts(
+    const Dims& block_dims) const {
+  const LevelStructure ls = LevelStructure::analyze(block_dims);
+  return {ls.level_count.begin(), ls.level_count.end()};
+}
+
+double InterpBackend::amplification(const Header& h, ErrorModel model,
+                                    unsigned l) const {
+  return level_amplification(model, h.interp,
+                             static_cast<unsigned>(h.dims.rank()), l);
+}
+
+BlockCompressResult InterpBackend::compress_block(
+    const float* original, float* work, const Dims& block_dims,
+    const std::array<std::size_t, kMaxRank>& estrides, double eb,
+    const Options& opt, std::uint32_t block) const {
+  return compress_impl(original, work, block_dims, estrides, eb, opt, block);
+}
+
+BlockCompressResult InterpBackend::compress_block(
+    const double* original, double* work, const Dims& block_dims,
+    const std::array<std::size_t, kMaxRank>& estrides, double eb,
+    const Options& opt, std::uint32_t block) const {
+  return compress_impl(original, work, block_dims, estrides, eb, opt, block);
+}
+
+void InterpBackend::reconstruct(const Header& h, const BlockCodes& bc,
+                                float* field) const {
+  reconstruct_impl(h, bc, field);
+}
+
+void InterpBackend::reconstruct(const Header& h, const BlockCodes& bc,
+                                double* field) const {
+  reconstruct_impl(h, bc, field);
+}
+
+void InterpBackend::refine(const Header& h, const BlockCodes& bc,
+                           const std::vector<std::vector<std::uint32_t>>& delta,
+                           float* field) const {
+  refine_impl(h, bc, delta, field);
+}
+
+void InterpBackend::refine(const Header& h, const BlockCodes& bc,
+                           const std::vector<std::vector<std::uint32_t>>& delta,
+                           double* field) const {
+  refine_impl(h, bc, delta, field);
+}
+
+}  // namespace ipcomp

@@ -3,11 +3,19 @@
 
 #include <cstddef>
 
+#include "core/header.hpp"
 #include "interp/interpolation.hpp"
 
 namespace ipcomp {
 
 struct Options {
+  /// Progressive backend that runs the per-block transform -> quantize ->
+  /// bitplane pipeline.  kInterp is the paper's interpolation predictor and
+  /// writes archive format v1/v2; every other backend (e.g. kWavelet, a
+  /// CDF 9/7 transform) writes format v3.  All backends serve the same
+  /// ProgressiveReader request API, including request_region.
+  BackendId backend = BackendId::kInterp;
+
   /// Quantization error bound.  When `relative` is true this is multiplied by
   /// the data range (max − min) at compression time, matching the paper's
   /// "eb = 1e-9 × Range(dataset)" convention.

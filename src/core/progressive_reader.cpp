@@ -5,19 +5,13 @@
 #include <tuple>
 
 #include "bitplane/bitplane.hpp"
-#include "bitplane/negabinary.hpp"
 #include "bitplane/predictive.hpp"
 #include "coding/codec.hpp"
-#include "quant/quantizer.hpp"
 #include "util/parallel.hpp"
 
 namespace ipcomp {
 
 namespace {
-
-bool bitmap_test(const Bytes& bm, std::size_t i) {
-  return (bm[i >> 3] >> (i & 7)) & 1u;
-}
 
 void bitmap_set(Bytes& bm, std::size_t i) {
   bm[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
@@ -34,14 +28,29 @@ ProgressiveReader<T>::ProgressiveReader(SegmentSource& src, ReaderConfig cfg)
   if (header_.dtype != data_type_of<T>()) {
     throw std::runtime_error("ProgressiveReader: archive value type mismatch");
   }
-  // Block-decomposed headers only occur in v2 containers (and vice versa);
-  // a mismatch means a forged or corrupted stream.
-  if ((header_.block_side != 0) != (src_.version() >= kArchiveV2)) {
+  // Each container version carries exactly one header layout (v1 whole-field
+  // interp, v2 block interp, v3 backend-tagged); a mismatch means a forged
+  // or corrupted stream.
+  const std::uint32_t container = src_.version();
+  if (container != header_.format) {
     throw std::runtime_error(
         "ProgressiveReader: header/container version mismatch");
   }
+  backend_ = &backend_for(header_.backend);
+  backend_->validate_metadata(header_);
+  if (container >= kArchiveV3) {
+    // The backend defines which segment kinds may exist; anything else means
+    // the header's backend id does not match the payload.
+    for (const SegmentId& id : src_.segment_ids()) {
+      const bool known = id.kind == kSegBase || id.kind == kSegPlane ||
+                         (id.kind == kSegAux && backend_->has_aux_segment());
+      if (!known) {
+        throw std::runtime_error(
+            "ProgressiveReader: segment kind not recognized by backend");
+      }
+    }
+  }
   grid_ = BlockGrid::analyze(header_.dims, header_.block_side);
-  field_strides_ = header_.dims.strides();
   if (header_.block_side == 0) {
     if (!header_.block_levels.empty()) {
       throw std::runtime_error("ProgressiveReader: unexpected block table");
@@ -53,22 +62,23 @@ ProgressiveReader<T>::ProgressiveReader(SegmentSource& src, ReaderConfig cfg)
   blocks_.resize(grid_.n_blocks);
   for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
     BlockState& bs = blocks_[b];
-    bs.ls = LevelStructure::analyze(grid_.block_dims(b));
-    bs.origin = grid_.origin_linear(b);
+    bs.bc.dims = grid_.block_dims(b);
+    bs.bc.origin = grid_.origin_linear(b);
+    const auto counts = backend_->level_counts(bs.bc.dims);
     const auto& levels = levels_of(b);
-    if (bs.ls.num_levels != levels.size()) {
+    if (counts.size() != levels.size()) {
       throw std::runtime_error("ProgressiveReader: level count mismatch");
     }
-    for (unsigned li = 0; li < bs.ls.num_levels; ++li) {
-      if (bs.ls.level_count[li] != levels[li].count) {
+    for (unsigned li = 0; li < counts.size(); ++li) {
+      if (counts[li] != levels[li].count) {
         throw std::runtime_error("ProgressiveReader: level size mismatch");
       }
     }
-    const unsigned L = bs.ls.num_levels;
-    bs.codes.resize(L);
+    const unsigned L = static_cast<unsigned>(levels.size());
+    bs.bc.codes.resize(L);
     bs.planes_used.assign(L, 0);
-    bs.outlier_bitmap.resize(L);
-    bs.outlier_value.resize(L);
+    bs.bc.outlier_bitmap.resize(L);
+    bs.bc.outlier_value.resize(L);
     n_levels_ = std::max(n_levels_, L);
   }
 
@@ -111,6 +121,9 @@ void ProgressiveReader<T>::fetch_base(std::size_t b, FetchedBlock& out) {
     out.base[li] = src_.read_segment({kSegBase, static_cast<std::uint16_t>(li + 1),
                                       0, static_cast<std::uint32_t>(b)});
   }
+  if (backend_->has_aux_segment()) {
+    out.aux = src_.read_segment({kSegAux, 0, 0, static_cast<std::uint32_t>(b)});
+  }
   out.has_base = true;
 }
 
@@ -120,7 +133,7 @@ void ProgressiveReader<T>::decode_base(std::size_t b, FetchedBlock& fetched) {
   const auto& levels = levels_of(b);
   for (unsigned li = 0; li < levels.size(); ++li) {
     const LevelHeader& lh = levels[li];
-    bs.codes[li].assign(lh.count, 0);
+    bs.bc.codes[li].assign(lh.count, 0);
     const Bytes& seg = fetched.base[li];
     ByteReader r({seg.data(), seg.size()});
     std::size_t n_out = r.varint();
@@ -128,7 +141,7 @@ void ProgressiveReader<T>::decode_base(std::size_t b, FetchedBlock& fetched) {
       throw std::runtime_error("reader: outlier count mismatch");
     }
     if (n_out > 0) {
-      bs.outlier_bitmap[li].assign(plane_bytes(lh.count), 0);
+      bs.bc.outlier_bitmap[li].assign(plane_bytes(lh.count), 0);
       std::size_t slot = 0;
       for (std::size_t i = 0; i < n_out; ++i) {
         slot += r.varint();
@@ -136,8 +149,8 @@ void ProgressiveReader<T>::decode_base(std::size_t b, FetchedBlock& fetched) {
         if (slot >= lh.count) {
           throw std::runtime_error("reader: outlier slot out of range");
         }
-        bitmap_set(bs.outlier_bitmap[li], slot);
-        bs.outlier_value[li][slot] = value;
+        bitmap_set(bs.bc.outlier_bitmap[li], slot);
+        bs.bc.outlier_value[li][slot] = value;
       }
     }
     if (!lh.progressive) {
@@ -145,13 +158,14 @@ void ProgressiveReader<T>::decode_base(std::size_t b, FetchedBlock& fetched) {
       auto packed = r.bytes(packed_size);
       Bytes raw = codec_decompress(packed, lh.count * 4);
       for (std::size_t i = 0; i < lh.count; ++i) {
-        bs.codes[li][i] = static_cast<std::uint32_t>(raw[4 * i]) |
-                          static_cast<std::uint32_t>(raw[4 * i + 1]) << 8 |
-                          static_cast<std::uint32_t>(raw[4 * i + 2]) << 16 |
-                          static_cast<std::uint32_t>(raw[4 * i + 3]) << 24;
+        bs.bc.codes[li][i] = static_cast<std::uint32_t>(raw[4 * i]) |
+                             static_cast<std::uint32_t>(raw[4 * i + 1]) << 8 |
+                             static_cast<std::uint32_t>(raw[4 * i + 2]) << 16 |
+                             static_cast<std::uint32_t>(raw[4 * i + 3]) << 24;
       }
     }
   }
+  bs.bc.aux = std::move(fetched.aux);
   bs.base_loaded = true;
 }
 
@@ -220,7 +234,9 @@ void ProgressiveReader<T>::decode_and_reconstruct(std::size_t b,
   BlockState& bs = blocks_[b];
   const auto& levels = levels_of(b);
   std::vector<std::vector<std::uint32_t>> delta;
-  if (bs.have_recon && !fetched.planes.empty()) delta.resize(levels.size());
+  if (bs.have_recon && !fetched.planes.empty() && backend_->wants_delta()) {
+    delta.resize(levels.size());
+  }
 
   for (auto& [li, k, seg] : fetched.planes) {
     const LevelHeader& lh = levels[li];
@@ -228,10 +244,10 @@ void ProgressiveReader<T>::decode_and_reconstruct(std::size_t b,
                                      plane_bytes(lh.count));
     Bytes plane = header_.prefix_bits == 0
                       ? std::move(encoded)
-                      : predictive_encode_plane(bs.codes[li], encoded, k,
+                      : predictive_encode_plane(bs.bc.codes[li], encoded, k,
                                                 header_.prefix_bits);
-    deposit_plane(bs.codes[li], plane, k);
-    if (bs.have_recon) {
+    deposit_plane(bs.bc.codes[li], plane, k);
+    if (!delta.empty()) {
       if (delta[li].empty()) delta[li].assign(lh.count, 0);
       deposit_plane(delta[li], plane, k);
     }
@@ -239,62 +255,16 @@ void ProgressiveReader<T>::decode_and_reconstruct(std::size_t b,
   }
 
   if (!bs.have_recon) {
-    const LinearQuantizer quant(header_.eb);
-    interpolation_sweep_strided(
-        xhat_.data() + bs.origin, bs.ls, header_.interp, field_strides_,
-        [&](unsigned li, std::size_t slot, std::size_t /*idx*/, T pred) -> T {
-          double raw;
-          if (is_outlier(bs, li, slot, raw)) return static_cast<T>(raw);
-          return quant.dequantize(pred, negabinary_decode(bs.codes[li][slot]));
-        });
+    backend_->reconstruct(header_, bs.bc, xhat_.data());
     bs.have_recon = true;
     return;
   }
   if (fetched.planes.empty()) return;
-
-  // Refinement: sweep only the newly added code bits into a block-local
-  // dense delta buffer, then add it onto the block's strided span of xhat_ —
-  // the cost stays proportional to the block, not the field (matters for
-  // request_region).  Always swept in double so incremental refinement of
-  // float archives loses at most one rounding at the final addition.
-  const double step = 2.0 * header_.eb;
-  std::vector<double> dblock(bs.ls.dims.count(), 0.0);
-  interpolation_sweep(
-      dblock.data(), bs.ls, header_.interp,
-      [&](unsigned li, std::size_t slot, std::size_t /*idx*/,
-          double pred) -> double {
-        double raw;
-        if (is_outlier(bs, li, slot, raw)) return 0.0;  // outliers are exact
-        if (delta[li].empty()) {
-          return pred;  // no new bits at this level
-        }
-        const double dy =
-            static_cast<double>(negabinary_decode(delta[li][slot])) * step;
-        return pred + dy;
-      });
-
-  const Dims& bd = bs.ls.dims;
-  const std::size_t rank = bd.rank();
-  const std::size_t row = bd[rank - 1];  // contiguous in the field too
-  const std::size_t lines = bd.count() / row;
-  parallel_for(0, lines, [&](std::size_t line) {
-    std::size_t rem = line;
-    std::size_t off = 0;
-    for (std::size_t j = rank - 1; j-- > 0;) {
-      off += (rem % bd[j]) * field_strides_[j];
-      rem /= bd[j];
-    }
-    const double* src = dblock.data() + line * row;
-    T* dst = xhat_.data() + bs.origin + off;
-    for (std::size_t i = 0; i < row; ++i) {
-      dst[i] = static_cast<T>(static_cast<double>(dst[i]) + src[i]);
-    }
-  }, /*grain=*/std::max<std::size_t>(1, 32768 / row));
+  backend_->refine(header_, bs.bc, delta, xhat_.data());
 }
 
 template <typename T>
 std::vector<LevelPlanInput> ProgressiveReader<T>::planner_inputs() const {
-  const unsigned rank = static_cast<unsigned>(header_.dims.rank());
   const double step = 2.0 * header_.eb;
   std::vector<LevelPlanInput> inputs(n_levels_);
   for (unsigned li = 0; li < n_levels_; ++li) {
@@ -306,7 +276,7 @@ std::vector<LevelPlanInput> ProgressiveReader<T>::planner_inputs() const {
       continue;
     }
     const double amp =
-        level_amplification(cfg_.error_model, header_.interp, rank, li + 1);
+        backend_->amplification(header_, cfg_.error_model, li + 1);
     // Aggregate the level across blocks: plane sizes sum (fetching global
     // plane k touches every block that stores it), truncation losses max
     // (the field's L∞ error is the worst block's).  Bytes already fetched —
@@ -359,9 +329,10 @@ RetrievalStats ProgressiveReader<T>::apply_plan(const LoadPlan& plan,
         std::max(plan.planes_to_use[li], planes_used_[li]), agg_planes_[li]);
   }
 
-  // Fetch serially (the source counts bytes), then decode and sweep the
-  // blocks concurrently — each block's sweep runs serially inside the outer
-  // parallel region (nested-parallelism guard), so output is deterministic.
+  // Fetch serially (the source counts bytes), then decode and reconstruct
+  // the blocks concurrently — each block's inner loops run serially inside
+  // the outer parallel region (nested-parallelism guard), so output is
+  // deterministic.
   std::vector<FetchedBlock> fetched(grid_.n_blocks);
   for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
     fetch_planes(b, block_targets(b, global), fetched[b]);
@@ -377,7 +348,6 @@ RetrievalStats ProgressiveReader<T>::apply_plan(const LoadPlan& plan,
 
 template <typename T>
 double ProgressiveReader<T>::current_guaranteed_error() const {
-  const unsigned rank = static_cast<unsigned>(header_.dims.rank());
   const double step = 2.0 * header_.eb;
   double err = header_.eb;
   for (unsigned li = 0; li < n_levels_; ++li) {
@@ -385,7 +355,7 @@ double ProgressiveReader<T>::current_guaranteed_error() const {
     if (D == 0) continue;
     const unsigned d = D - planes_used_[li];
     const double amp =
-        level_amplification(cfg_.error_model, header_.interp, rank, li + 1);
+        backend_->amplification(header_, cfg_.error_model, li + 1);
     double worst = 0.0;
     for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
       const auto& levels = levels_of(b);
@@ -398,16 +368,6 @@ double ProgressiveReader<T>::current_guaranteed_error() const {
     err += amp * worst * step;
   }
   return err;
-}
-
-template <typename T>
-bool ProgressiveReader<T>::is_outlier(const BlockState& bs, unsigned li,
-                                      std::size_t slot, double& value) const {
-  if (bs.outlier_bitmap[li].empty() || !bitmap_test(bs.outlier_bitmap[li], slot)) {
-    return false;
-  }
-  value = bs.outlier_value[li].at(slot);
-  return true;
 }
 
 template <typename T>

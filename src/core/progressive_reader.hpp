@@ -4,21 +4,26 @@
 // of which levels are resident, the partial negabinary codes, and the current
 // reconstruction.  Each request plans the minimum set of additional plane
 // segments (DP knapsack over the header's δy tables), fetches exactly those,
-// and reconstructs in a single interpolation sweep:
-//   * first request — full sweep from the partial codes (Algorithm 1);
-//   * refinements  — a sweep over the *newly added* code bits produces a
-//     delta field that is added onto the previous output (Algorithm 2).
-// The delta form is exact because the reconstruction map is linear in the
-// dequantized differences and negabinary decoding is linear over bit
-// positions (DESIGN.md §6.5).
+// and hands the new bits to the archive's ProgressiveBackend:
+//   * first request — full backend reconstruction from the partial codes
+//     (Algorithm 1);
+//   * refinements  — the backend folds the *newly added* code bits into its
+//     existing output (Algorithm 2 for the interpolation backend; transform
+//     backends may simply rebuild the block).
 //
-// Block-decomposed (v2) archives hold one independent code/outlier state per
-// block.  Uniform requests (error bound / bytes / bitrate / full) plan over
-// per-level aggregates — plane sizes summed and truncation losses maxed
-// across blocks — fetch segments serially, then decode and sweep the blocks
-// concurrently.  request_region() additionally serves region-of-interest
-// retrieval: it reads and reconstructs only the blocks intersecting the
-// requested region.
+// Everything format- and transform-specific — code -> field reconstruction
+// and the per-level loss amplification the planner prices with — lives in
+// the backend (core/backend.hpp); this class owns the shared machinery:
+// segment fetching and byte accounting, base/plane decoding, the plane
+// planner, and block scheduling.
+//
+// Block-decomposed (v2/v3) archives hold one independent code/outlier state
+// per block.  Uniform requests (error bound / bytes / bitrate / full) plan
+// over per-level aggregates — plane sizes summed and truncation losses maxed
+// across blocks — fetch segments serially, then decode and reconstruct the
+// blocks concurrently.  request_region() additionally serves region-of-
+// interest retrieval: it reads and reconstructs only the blocks intersecting
+// the requested region.
 #pragma once
 
 #include <array>
@@ -27,12 +32,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/blocks.hpp"
 #include "core/header.hpp"
 #include "io/archive.hpp"
 #include "loader/error_model.hpp"
 #include "loader/optimizer.hpp"
-#include "interp/sweep.hpp"
 
 namespace ipcomp {
 
@@ -85,6 +90,7 @@ class ProgressiveReader {
 
   const std::vector<T>& data() const { return xhat_; }
   const Header& header() const { return header_; }
+  const ProgressiveBackend& backend() const { return *backend_; }
   const BlockGrid& block_grid() const { return grid_; }
   std::size_t element_count() const { return header_.dims.count(); }
   std::size_t bytes_loaded() const { return src_.bytes_read(); }
@@ -92,15 +98,11 @@ class ProgressiveReader {
   double current_guaranteed_error() const;
 
  private:
-  /// Per-block retrieval state: one independent instance of the paper's
-  /// algorithm state.  Whole-field archives hold exactly one.
+  /// Per-block retrieval state: the backend-facing BlockCodes plus the
+  /// reader's own bookkeeping.  Whole-field archives hold exactly one.
   struct BlockState {
-    LevelStructure ls;
-    std::size_t origin = 0;  // element offset of the block in the field
-    std::vector<std::vector<std::uint32_t>> codes;  // per level, partial
-    std::vector<unsigned> planes_used;              // per level, from the top
-    std::vector<Bytes> outlier_bitmap;              // per level (maybe empty)
-    std::vector<std::unordered_map<std::size_t, double>> outlier_value;
+    BlockCodes bc;
+    std::vector<unsigned> planes_used;  // per level, from the top
     bool base_loaded = false;
     bool have_recon = false;
   };
@@ -110,6 +112,7 @@ class ProgressiveReader {
   struct FetchedBlock {
     std::vector<Bytes> base;  // per level; empty when already resident
     bool has_base = false;
+    Bytes aux;  // kSegAux payload, fetched with the base when present
     /// (level index, absolute plane position, payload), MSB-first per level.
     std::vector<std::tuple<unsigned, unsigned, Bytes>> planes;
   };
@@ -125,9 +128,8 @@ class ProgressiveReader {
   /// `targets[li]` planes-from-the-top per level (block-local units).
   void fetch_planes(std::size_t b, const std::vector<unsigned>& targets,
                     FetchedBlock& out);
-  /// Decode fetched planes into the block's codes, reconstruct the block
-  /// (full sweep on first touch; afterwards a block-local delta sweep added
-  /// onto the block's span of xhat_).
+  /// Decode fetched planes into the block's codes, then hand the block to
+  /// the backend (full reconstruct on first touch, refine afterwards).
   void decode_and_reconstruct(std::size_t b, FetchedBlock& fetched);
   std::vector<LevelPlanInput> planner_inputs() const;
   RetrievalStats apply_plan(const LoadPlan& plan, std::size_t bytes_before);
@@ -136,17 +138,15 @@ class ProgressiveReader {
   /// axis, see planner_inputs()).
   std::vector<unsigned> block_targets(std::size_t b,
                                       const std::vector<unsigned>& global) const;
-  bool is_outlier(const BlockState& bs, unsigned li, std::size_t slot,
-                  double& value) const;
 
   SegmentSource& src_;
   ReaderConfig cfg_;
+  const ProgressiveBackend* backend_ = nullptr;
   /// Header/index bytes charged at construction, attributed to the first
   /// request so that bytes_new sums to bytes_total.
   std::size_t unattributed_open_cost_ = 0;
   Header header_;
   BlockGrid grid_;
-  std::array<std::size_t, kMaxRank> field_strides_{};
   unsigned n_levels_ = 0;  // max over blocks
   /// Per level: max n_planes over blocks — the global planes-from-top axis
   /// uniform requests plan on.

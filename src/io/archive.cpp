@@ -49,7 +49,7 @@ ArchiveIndex ArchiveIndex::parse(std::span<const std::uint8_t> head_bytes,
   if (r.u32() != kMagic) throw std::runtime_error("archive: bad magic");
   ArchiveIndex idx;
   idx.version = r.u32();
-  if (idx.version < kArchiveV1 || idx.version > kArchiveV2) {
+  if (idx.version < kArchiveV1 || idx.version > kArchiveV3) {
     throw std::runtime_error("archive: bad version");
   }
   idx.total_size = total_size;

@@ -10,10 +10,12 @@
 //   | segment_count varint | per segment: (id u64, length varint)
 //   | segment payloads, in table order
 //
-// Two versions exist; they differ only in how SegmentId packs into the u64
-// table key.  v1 has no block axis (kind:16 | level:16 | plane:32); v2 adds
+// Three versions exist.  v1 and v2 differ in how SegmentId packs into the u64
+// table key: v1 has no block axis (kind:16 | level:16 | plane:32); v2 adds
 // one for block-decomposed archives (kind:8 | level:8 | plane:12 | block:36).
-// Readers accept both, keyed off the version word.
+// v3 keeps the v2 key packing and differs only in its header, which names the
+// progressive backend that owns the payload.  Readers accept all three,
+// keyed off the version word.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +32,9 @@ namespace ipcomp {
 /// Archive format versions (the u32 after the magic).
 inline constexpr std::uint32_t kArchiveV1 = 1;  // whole-field, no block axis
 inline constexpr std::uint32_t kArchiveV2 = 2;  // block-decomposed fields
+/// v3 containers key segments exactly like v2 but carry a v3 header
+/// (backend id + metadata); written by every non-interpolation backend.
+inline constexpr std::uint32_t kArchiveV3 = 3;
 
 /// Identifies one independently-retrievable piece of compressed data.
 /// For IPComp: kind distinguishes base data from bitplanes; `level` is the
@@ -100,6 +105,9 @@ class SegmentSource {
   virtual Bytes read_segment(SegmentId id) = 0;
   virtual bool has_segment(SegmentId id) const = 0;
   virtual std::size_t segment_size(SegmentId id) const = 0;
+  /// All segment ids present in the container, in table order.  Free to call:
+  /// the index is part of the open cost, nothing extra is charged.
+  virtual std::vector<SegmentId> segment_ids() const = 0;
   /// Archive format version parsed from the container.
   virtual std::uint32_t version() const = 0;
 
@@ -127,6 +135,16 @@ struct ArchiveIndex {
   std::map<std::uint64_t, Entry> entries;
   std::size_t total_size = 0;
 
+  /// All segment ids in the index, decoded under the parsed version.
+  std::vector<SegmentId> ids() const {
+    std::vector<SegmentId> out;
+    out.reserve(entries.size());
+    for (const auto& [key, entry] : entries) {
+      out.push_back(SegmentId::from_key(key, version));
+    }
+    return out;
+  }
+
   static ArchiveIndex parse(std::span<const std::uint8_t> head_bytes,
                             std::size_t total_size);
 };
@@ -141,6 +159,7 @@ class MemorySource final : public SegmentSource {
   Bytes read_segment(SegmentId id) override;
   bool has_segment(SegmentId id) const override;
   std::size_t segment_size(SegmentId id) const override;
+  std::vector<SegmentId> segment_ids() const override { return index_.ids(); }
   std::uint32_t version() const override { return index_.version; }
   std::size_t total_size() const override { return blob_.size(); }
 
@@ -160,6 +179,7 @@ class FileSource final : public SegmentSource {
   Bytes read_segment(SegmentId id) override;
   bool has_segment(SegmentId id) const override;
   std::size_t segment_size(SegmentId id) const override;
+  std::vector<SegmentId> segment_ids() const override { return index_.ids(); }
   std::uint32_t version() const override { return index_.version; }
   std::size_t total_size() const override { return file_size_; }
 

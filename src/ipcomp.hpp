@@ -17,6 +17,7 @@
 //   const std::vector<double>& values = reader.data();
 #pragma once
 
+#include "core/backend.hpp"
 #include "core/compressor.hpp"
 #include "core/header.hpp"
 #include "core/options.hpp"

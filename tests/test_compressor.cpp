@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "ipcomp.hpp"
+#include "interp/sweep.hpp"
 #include "test_util.hpp"
 
 namespace ipcomp {

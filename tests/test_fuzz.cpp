@@ -64,6 +64,10 @@ TEST_P(FuzzSeeds, IpcompRandomShapesAndContent) {
     // Half the trials run block-decomposed (archive v2) to fuzz the block
     // pipeline across the same geometry / content / bound space.
     opt.block_side = rng.uniform() < 0.5 ? 0 : 2 + rng.uniform_u64(30);
+    // And half run the wavelet backend (archive v3), so both backends face
+    // the same randomized geometry, content and bounds.
+    opt.backend =
+        rng.uniform() < 0.5 ? BackendId::kInterp : BackendId::kWavelet;
     Bytes archive = compress(field.const_view(), opt);
 
     MemorySource src(std::move(archive));
