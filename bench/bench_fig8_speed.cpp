@@ -97,6 +97,37 @@ struct StageResult {
   double mb_per_s = 0.0;
 };
 
+/// Fetch-efficiency record of one FileSource-backed progressive sweep
+/// (coarse -> medium -> full error-bound requests through plan/execute):
+/// how many segments the plans named, how many physical reads the coalescing
+/// read_many actually issued, and the payload bytes charged.
+struct FetchStats {
+  std::size_t segments = 0;
+  std::size_t read_calls = 0;
+  std::size_t coalesced_ranges = 0;
+  std::size_t bytes = 0;
+};
+
+FetchStats fetch_sweep(const Bytes& archive, const char* path) {
+  write_file(path, archive);
+  FetchStats fs;
+  {
+    FileSource src(path);
+    ProgressiveReader<double> reader(src);
+    const double eb = reader.compression_eb();
+    for (double mult : {1e6, 1e3, 1.0}) {
+      RetrievalPlan plan = reader.plan(Request::error_bound(mult * eb));
+      fs.segments += plan.segments.size();
+      reader.execute(plan);
+    }
+    fs.read_calls = src.read_calls();
+    fs.coalesced_ranges = src.coalesced_ranges();
+    fs.bytes = src.bytes_read();
+  }
+  std::remove(path);
+  return fs;
+}
+
 template <typename Fn>
 StageResult best_of(int reps, std::size_t raw_bytes, Fn&& fn) {
   StageResult r;
@@ -186,6 +217,12 @@ int block_compare(const char* json_path) {
   }
   if (!std::isfinite(sink)) std::printf("unreachable\n");
 
+  // Fetch efficiency of the plan/execute path against real file I/O, per
+  // backend: all of a request's segments go through one read_many call,
+  // which FileSource coalesces into bulk reads.
+  FetchStats f_interp = fetch_sweep(archive_block, "BENCH_fetch_interp.ipc");
+  FetchStats f_wavelet = fetch_sweep(archive_wavelet, "BENCH_fetch_wavelet.ipc");
+
   const double ratio_legacy = static_cast<double>(raw) /
                               static_cast<double>(archive_legacy.size());
   const double ratio_block = static_cast<double>(raw) /
@@ -216,6 +253,10 @@ int block_compare(const char* json_path) {
               "%zu bytes for the corner octant\n",
               wavelet_partial_bytes, archive_wavelet.size(),
               wavelet_region_bytes);
+  std::printf("fetch (FileSource sweep): interp %zu segments in %zu reads, "
+              "wavelet %zu segments in %zu reads\n",
+              f_interp.segments, f_interp.read_calls, f_wavelet.segments,
+              f_wavelet.read_calls);
   std::printf("(target: >=2x compression speedup at 4 threads, >=256^3)\n");
 
   if (json_path) {
@@ -244,7 +285,9 @@ int block_compare(const char* json_path) {
                  "    \"interp\": {\n"
                  "      \"compress\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
                  "      \"decompress\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
-                 "      \"ratio\": %.4f\n"
+                 "      \"ratio\": %.4f,\n"
+                 "      \"fetch\": {\"segments\": %zu, \"read_calls\": %zu,"
+                 " \"coalesced_ranges\": %zu, \"bytes\": %zu}\n"
                  "    },\n"
                  "    \"wavelet\": {\n"
                  "      \"compress\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
@@ -254,7 +297,9 @@ int block_compare(const char* json_path) {
                  "      \"progressive\": {\"target_over_eb\": 1000,"
                  " \"bytes\": %zu, \"guaranteed_error\": %.6e,"
                  " \"compression_eb\": %.6e},\n"
-                 "      \"region_octant_bytes\": %zu\n"
+                 "      \"region_octant_bytes\": %zu,\n"
+                 "      \"fetch\": {\"segments\": %zu, \"read_calls\": %zu,"
+                 " \"coalesced_ranges\": %zu, \"bytes\": %zu}\n"
                  "    }\n"
                  "  }\n"
                  "}\n",
@@ -265,10 +310,14 @@ int block_compare(const char* json_path) {
                  speedup_c, speedup_d,
                  c_block.seconds, c_block.mb_per_s, d_block.seconds,
                  d_block.mb_per_s, ratio_block,
+                 f_interp.segments, f_interp.read_calls,
+                 f_interp.coalesced_ranges, f_interp.bytes,
                  c_wavelet.seconds, c_wavelet.mb_per_s, d_wavelet.seconds,
                  d_wavelet.mb_per_s, ratio_wavelet, archive_wavelet.size(),
                  wavelet_partial_bytes, wavelet_partial_guarantee, wavelet_eb,
-                 wavelet_region_bytes);
+                 wavelet_region_bytes, f_wavelet.segments,
+                 f_wavelet.read_calls, f_wavelet.coalesced_ranges,
+                 f_wavelet.bytes);
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   }

@@ -4,17 +4,21 @@
 //                [--eb 1e-6] [--abs] [--interp cubic|linear] [--block-side N]
 //                [--backend interp|wavelet]
 //   ipc retrieve <archive.ipc> <output.raw>
-//                (--eb E | --bitrate B | --full | --region z0:z1xy0:y1xx0:x1)
+//                [--eb E | --bytes N | --bitrate B | --full]
+//                [--region z0:z1xy0:y1xx0:x1] [--dry-run]
 //   ipc info     <archive.ipc>
 //   ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]
 //
 // Raw files are dense row-major little-endian arrays (SDRBench layout).
 // --block-side N compresses in independent N^d blocks (archive format v2+):
 // compression parallelizes across blocks and --region retrieves a sub-box by
-// reading only the blocks that intersect it.  --backend selects the
-// progressive backend (interp = the paper's interpolation predictor,
-// wavelet = CDF 9/7; wavelet archives use format v3).  Unknown flags and
-// malformed values exit non-zero with a usage hint.
+// reading only the blocks that intersect it.  --region composes with any
+// fidelity flag ("this region at eb 1e-3"); alone it means full fidelity.
+// --dry-run prints the retrieval plan — segments, predicted bytes, predicted
+// guaranteed error — without fetching a payload byte (the output file may be
+// omitted).  --backend selects the progressive backend (interp = the paper's
+// interpolation predictor, wavelet = CDF 9/7; wavelet archives use format
+// v3).  Unknown flags and malformed values exit non-zero with a usage hint.
 #include <array>
 #include <cctype>
 #include <cmath>
@@ -41,7 +45,8 @@ using namespace ipcomp;
       "               [--eb 1e-6] [--abs] [--interp cubic|linear] [--block-side N]\n"
       "               [--backend interp|wavelet]\n"
       "  ipc retrieve <archive.ipc> <output.raw>\n"
-      "               (--eb E | --bitrate B | --full | --region z0:z1xy0:y1xx0:x1)\n"
+      "               [--eb E | --bytes N | --bitrate B | --full]\n"
+      "               [--region z0:z1xy0:y1xx0:x1] [--dry-run]\n"
       "  ipc info     <archive.ipc>\n"
       "  ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]\n";
   std::exit(2);
@@ -60,7 +65,7 @@ struct Args {
         // insert_or_assign with an explicit std::string temporary sidesteps a
         // GCC 12 -Wrestrict false positive (PR 105329) in the inlined
         // mapped_type::operator=(const char*), which -Werror turns fatal.
-        if (key == "abs" || key == "full") {
+        if (key == "abs" || key == "full" || key == "dry-run") {
           a.flags.insert_or_assign(key, std::string("1"));
         } else {
           if (i + 1 >= argc) usage("missing value for --" + key);
@@ -219,29 +224,86 @@ int do_compress(const Args& a) {
   return 0;
 }
 
+/// Build the Request a retrieve invocation describes: at most one fidelity
+/// flag, optionally composed with --region (alone, --region means full
+/// fidelity, the legacy behavior).
+Request build_request(const Args& a, std::size_t rank) {
+  int fidelity_flags = 0;
+  for (const char* k : {"eb", "bytes", "bitrate", "full"}) {
+    fidelity_flags += a.get(k).has_value();
+  }
+  if (fidelity_flags > 1) {
+    usage("--eb, --bytes, --bitrate and --full are mutually exclusive");
+  }
+  if (fidelity_flags == 0 && !a.get("region")) {
+    usage("retrieve needs --eb, --bytes, --bitrate, --full or --region");
+  }
+  Request req = Request::full();
+  if (a.get("eb")) {
+    req = Request::error_bound(parse_double(*a.get("eb"), "eb"));
+  } else if (a.get("bytes")) {
+    req = Request::bytes(parse_size(*a.get("bytes"), "bytes"));
+  } else if (a.get("bitrate")) {
+    req = Request::bitrate(parse_double(*a.get("bitrate"), "bitrate"));
+  }
+  if (a.get("region")) {
+    auto [lo, hi] = parse_region(*a.get("region"), rank);
+    req = req.within(lo, hi);
+  }
+  return req;
+}
+
+/// --dry-run output: what the plan would fetch, before any payload byte.
+void print_plan(const RetrievalPlan& plan, std::size_t rank) {
+  std::size_t base = 0, aux = 0, planes = 0;
+  for (const SegmentId& id : plan.segments) {
+    if (id.kind == kSegBase) ++base;
+    else if (id.kind == kSegAux) ++aux;
+    else ++planes;
+  }
+  std::cout << "plan for " << to_string(plan.request, rank) << ":\n"
+            << "  blocks in scope   : " << plan.blocks.size()
+            << (plan.region_scoped ? " (region-scoped)" : "") << "\n"
+            << "  segments to fetch : " << plan.segments.size() << " ("
+            << base << " base, " << aux << " aux, " << planes << " planes)\n"
+            << "  predicted bytes   : " << plan.bytes_new << "\n"
+            << "  predicted L-inf   : " << TableReporter::sci(plan.guaranteed_error)
+            << "\n  plane targets     :";
+  for (std::size_t li = 0; li < plan.plane_targets.size(); ++li) {
+    std::cout << " L" << li + 1 << "=" << plan.plane_targets[li];
+  }
+  std::cout << "\n  fetch order       :";
+  constexpr std::size_t kMaxListed = 24;
+  for (std::size_t i = 0; i < plan.segments.size() && i < kMaxListed; ++i) {
+    std::cout << (i ? ", " : " ") << to_string(plan.segments[i]);
+  }
+  if (plan.segments.size() > kMaxListed) {
+    std::cout << ", ... (" << plan.segments.size() - kMaxListed << " more)";
+  }
+  std::cout << "\n";
+}
+
 template <typename T>
 int do_retrieve(const Args& a) {
   FileSource src(a.positional[0]);
   ProgressiveReader<T> reader(src);
-  RetrievalStats st;
-  if (a.get("full")) {
-    st = reader.request_full();
-  } else if (a.get("eb")) {
-    st = reader.request_error_bound(parse_double(*a.get("eb"), "eb"));
-  } else if (a.get("bitrate")) {
-    st = reader.request_bitrate(parse_double(*a.get("bitrate"), "bitrate"));
-  } else if (a.get("region")) {
-    auto [lo, hi] =
-        parse_region(*a.get("region"), reader.header().dims.rank());
-    st = reader.request_region(lo, hi);
-  } else {
-    usage("retrieve needs --eb, --bitrate, --full or --region");
+  const std::size_t rank = reader.header().dims.rank();
+  Request req = build_request(a, rank);
+  RetrievalPlan plan = reader.plan(req);
+  if (a.get("dry-run")) {
+    print_plan(plan, rank);
+    return 0;
   }
+  // main() guarantees two positionals on the non-dry-run path.
+  const std::size_t segments = plan.segments.size();
+  RetrievalStats st = reader.execute(plan);
   write_raw<T>(a.positional[1], reader.data());
   std::cout << "retrieved " << reader.header().dims.to_string() << ": loaded "
             << st.bytes_total << " bytes ("
             << TableReporter::num(st.bitrate, 4) << " bits/value), guaranteed "
-            << "L-inf error " << TableReporter::sci(st.guaranteed_error) << "\n";
+            << "L-inf error " << TableReporter::sci(st.guaranteed_error) << "\n"
+            << "fetched " << segments << " segments in " << src.read_calls()
+            << " reads (" << src.coalesced_ranges() << " coalesced ranges)\n";
   return 0;
 }
 
@@ -316,8 +378,13 @@ int main(int argc, char** argv) {
       return f32 ? do_compress<float>(args) : do_compress<double>(args);
     }
     if (cmd == "retrieve") {
-      args.allow_only({"eb", "bitrate", "full", "region"});
-      if (args.positional.size() != 2) usage();
+      args.allow_only({"eb", "bytes", "bitrate", "full", "region", "dry-run"});
+      // --dry-run needs no output file; everything else does.
+      if (args.positional.empty() ||
+          args.positional.size() > 2 ||
+          (args.positional.size() == 1 && !args.get("dry-run"))) {
+        usage();
+      }
       // Value type is recorded in the archive; probe it.
       FileSource probe(args.positional[0]);
       bool is32 = Header::parse(probe.header()).dtype == DataType::kFloat32;

@@ -47,9 +47,17 @@ int main(int argc, char** argv) {
               << "), PSNR " << TableReporter::num(err.psnr, 4) << " dB\n";
   };
 
-  report("coarse (eb 1e-3) ", reader.request_error_bound(
-                                  1e-3 * (reader.header().data_max -
-                                          reader.header().data_min)));
+  // The plan/execute split: inspect what the request *would* fetch before a
+  // payload byte moves (request_error_bound and friends are wrappers around
+  // exactly this).
+  const double coarse_target =
+      1e-3 * (reader.header().data_max - reader.header().data_min);
+  RetrievalPlan plan = reader.plan(Request::error_bound(coarse_target));
+  std::cout << "plan for " << to_string(plan.request) << ": "
+            << plan.segments.size() << " segments, " << plan.bytes_new
+            << " bytes, guaranteed L-inf "
+            << TableReporter::sci(plan.guaranteed_error) << " -> executing\n";
+  report("coarse (eb 1e-3) ", reader.execute(plan));
   report("medium (12 bits) ", reader.request_bitrate(12.0));
   report("full             ", reader.request_full());
 

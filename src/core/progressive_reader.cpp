@@ -114,20 +114,6 @@ ProgressiveReader<T>::ProgressiveReader(SegmentSource& src, ReaderConfig cfg)
 }
 
 template <typename T>
-void ProgressiveReader<T>::fetch_base(std::size_t b, FetchedBlock& out) {
-  const auto& levels = levels_of(b);
-  out.base.resize(levels.size());
-  for (unsigned li = 0; li < levels.size(); ++li) {
-    out.base[li] = src_.read_segment({kSegBase, static_cast<std::uint16_t>(li + 1),
-                                      0, static_cast<std::uint32_t>(b)});
-  }
-  if (backend_->has_aux_segment()) {
-    out.aux = src_.read_segment({kSegAux, 0, 0, static_cast<std::uint32_t>(b)});
-  }
-  out.has_base = true;
-}
-
-template <typename T>
 void ProgressiveReader<T>::decode_base(std::size_t b, FetchedBlock& fetched) {
   BlockState& bs = blocks_[b];
   const auto& levels = levels_of(b);
@@ -170,34 +156,19 @@ void ProgressiveReader<T>::decode_base(std::size_t b, FetchedBlock& fetched) {
 }
 
 template <typename T>
-void ProgressiveReader<T>::ensure_base_loaded() {
-  std::vector<FetchedBlock> fetched(grid_.n_blocks);
-  bool any = false;
-  for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
-    if (!blocks_[b].base_loaded) {
-      fetch_base(b, fetched[b]);
-      any = true;
-    }
-  }
-  if (!any) return;
-  parallel_for_ex(0, grid_.n_blocks, [&](std::size_t b) {
-    if (fetched[b].has_base) decode_base(b, fetched[b]);
-  }, /*grain=*/2);
-}
-
-template <typename T>
 std::vector<unsigned> ProgressiveReader<T>::block_targets(
-    std::size_t b, const std::vector<unsigned>& global) const {
+    std::size_t b, const std::vector<unsigned>& axis,
+    const std::vector<unsigned>& depths) const {
   const auto& levels = levels_of(b);
   std::vector<unsigned> targets(levels.size(), 0);
   for (unsigned li = 0; li < levels.size(); ++li) {
     const LevelHeader& lh = levels[li];
     if (!lh.progressive || lh.n_planes == 0) continue;
-    // The global axis counts planes from the top of the deepest block at
+    // The axis counts planes from the top of the deepest in-scope block at
     // this level; a shallower block's missing high planes are all-zero, so
     // "use u of D" translates to dropping d = D − u of its lowest planes.
-    const unsigned D = agg_planes_[li];
-    const unsigned u = std::min(global[li], D);
+    const unsigned D = depths[li];
+    const unsigned u = std::min(axis[li], D);
     const unsigned d = D - u;
     targets[li] = lh.n_planes - std::min(d, lh.n_planes);
   }
@@ -205,9 +176,23 @@ std::vector<unsigned> ProgressiveReader<T>::block_targets(
 }
 
 template <typename T>
-void ProgressiveReader<T>::fetch_planes(std::size_t b,
-                                        const std::vector<unsigned>& targets,
-                                        FetchedBlock& out) {
+void ProgressiveReader<T>::plan_block_base(std::size_t b,
+                                           std::vector<SegmentId>& out) const {
+  if (blocks_[b].base_loaded) return;
+  const auto& levels = levels_of(b);
+  for (unsigned li = 0; li < levels.size(); ++li) {
+    out.push_back({kSegBase, static_cast<std::uint16_t>(li + 1), 0,
+                   static_cast<std::uint32_t>(b)});
+  }
+  if (backend_->has_aux_segment()) {
+    out.push_back({kSegAux, 0, 0, static_cast<std::uint32_t>(b)});
+  }
+}
+
+template <typename T>
+void ProgressiveReader<T>::plan_block_planes(
+    std::size_t b, const std::vector<unsigned>& targets,
+    std::vector<SegmentId>& out) const {
   const auto& levels = levels_of(b);
   const BlockState& bs = blocks_[b];
   for (unsigned li = 0; li < levels.size(); ++li) {
@@ -218,12 +203,8 @@ void ProgressiveReader<T>::fetch_planes(std::size_t b,
     // top means planes [n_planes - u, n_planes), fetched MSB-first so the
     // predictive XOR prefix bits are always resident before a plane decodes.
     for (unsigned used = bs.planes_used[li] + 1; used <= target; ++used) {
-      const unsigned k = lh.n_planes - used;
-      Bytes payload =
-          src_.read_segment({kSegPlane, static_cast<std::uint16_t>(li + 1), k,
-                             static_cast<std::uint32_t>(b)});
-      fetched_plane_bytes_[li][k] += payload.size();
-      out.planes.emplace_back(li, k, std::move(payload));
+      out.push_back({kSegPlane, static_cast<std::uint16_t>(li + 1),
+                     lh.n_planes - used, static_cast<std::uint32_t>(b)});
     }
   }
 }
@@ -280,7 +261,7 @@ std::vector<LevelPlanInput> ProgressiveReader<T>::planner_inputs() const {
     // Aggregate the level across blocks: plane sizes sum (fetching global
     // plane k touches every block that stores it), truncation losses max
     // (the field's L∞ error is the worst block's).  Bytes already fetched —
-    // including blocks request_region pushed past the global floor — are
+    // including blocks region requests pushed past the global floor — are
     // sunk cost: pricing them again would make byte budgets under-fetch.
     in.plane_size.resize(D);
     for (unsigned k = 0; k < D; ++k) {
@@ -304,6 +285,66 @@ std::vector<LevelPlanInput> ProgressiveReader<T>::planner_inputs() const {
 }
 
 template <typename T>
+void ProgressiveReader<T>::region_axis(
+    const std::vector<std::uint32_t>& blocks, std::vector<unsigned>& depths,
+    std::vector<unsigned>& floor, std::vector<LevelPlanInput>& inputs) const {
+  const double step = 2.0 * header_.eb;
+  depths.assign(n_levels_, 0);
+  floor.assign(n_levels_, 0);
+  for (std::uint32_t b : blocks) {
+    const auto& levels = levels_of(b);
+    for (unsigned li = 0; li < levels.size(); ++li) {
+      if (levels[li].progressive) {
+        depths[li] = std::max(depths[li], levels[li].n_planes);
+      }
+    }
+  }
+  inputs.assign(n_levels_, {});
+  for (unsigned li = 0; li < n_levels_; ++li) {
+    const unsigned D = depths[li];
+    LevelPlanInput& in = inputs[li];
+    if (D == 0) {
+      in.err.assign(1, 0.0);
+      in.already_loaded = 0;
+      continue;
+    }
+    const double amp =
+        backend_->amplification(header_, cfg_.error_model, li + 1);
+    in.plane_size.assign(D, 0);
+    in.err.assign(D + 1, 0.0);
+    // The axis aligns plane indices at the LSB of the deepest in-scope block
+    // (axis plane k maps to block plane k; shallower blocks simply lack the
+    // high ones), so per-block sizes and losses aggregate slot-by-slot.
+    // Unlike the whole-field path, residency is per block: segments a block
+    // already holds — from any earlier request, uniform or region — cost
+    // nothing, and the floor is the worst (lowest) block's.
+    unsigned fl = D;
+    for (std::uint32_t b : blocks) {
+      const auto& levels = levels_of(b);
+      if (li >= levels.size()) continue;
+      const LevelHeader& lh = levels[li];
+      if (!lh.progressive || lh.n_planes == 0) continue;
+      const unsigned used = blocks_[b].planes_used[li];
+      fl = std::min(fl, used + (D - lh.n_planes));
+      for (unsigned k = 0; k < lh.n_planes; ++k) {
+        const bool resident = k >= lh.n_planes - used;
+        if (!resident) {
+          in.plane_size[k] += src_.segment_size(
+              {kSegPlane, static_cast<std::uint16_t>(li + 1), k, b});
+        }
+      }
+      for (unsigned d = 0; d <= D; ++d) {
+        const double e =
+            amp * static_cast<double>(lh.loss[std::min(d, lh.n_planes)]) * step;
+        in.err[d] = std::max(in.err[d], e);
+      }
+    }
+    floor[li] = fl;
+    in.already_loaded = fl;
+  }
+}
+
+template <typename T>
 RetrievalStats ProgressiveReader<T>::finish_stats(std::size_t before) {
   RetrievalStats st;
   st.guaranteed_error = current_guaranteed_error();
@@ -315,45 +356,14 @@ RetrievalStats ProgressiveReader<T>::finish_stats(std::size_t before) {
 }
 
 template <typename T>
-RetrievalStats ProgressiveReader<T>::apply_plan(const LoadPlan& plan,
-                                                std::size_t bytes_before) {
-  // bytes_before is snapshotted at request entry so the first request's
-  // bytes_new includes the mandatory base-segment cost; the construction-time
-  // header read is attributed here too, exactly once.
-  const std::size_t before = bytes_before - unattributed_open_cost_;
-  unattributed_open_cost_ = 0;
-
-  std::vector<unsigned> global(n_levels_, 0);
-  for (unsigned li = 0; li < n_levels_; ++li) {
-    global[li] = std::min(
-        std::max(plan.planes_to_use[li], planes_used_[li]), agg_planes_[li]);
-  }
-
-  // Fetch serially (the source counts bytes), then decode and reconstruct
-  // the blocks concurrently — each block's inner loops run serially inside
-  // the outer parallel region (nested-parallelism guard), so output is
-  // deterministic.
-  std::vector<FetchedBlock> fetched(grid_.n_blocks);
-  for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
-    fetch_planes(b, block_targets(b, global), fetched[b]);
-  }
-
-  if (xhat_.empty()) xhat_.assign(header_.dims.count(), T{});
-  parallel_for_ex(0, grid_.n_blocks, [&](std::size_t b) {
-    decode_and_reconstruct(b, fetched[b]);
-  }, /*grain=*/2);
-  planes_used_ = std::move(global);
-  return finish_stats(before);
-}
-
-template <typename T>
-double ProgressiveReader<T>::current_guaranteed_error() const {
+double ProgressiveReader<T>::guarantee_for(
+    const std::vector<unsigned>& floor) const {
   const double step = 2.0 * header_.eb;
   double err = header_.eb;
   for (unsigned li = 0; li < n_levels_; ++li) {
     const unsigned D = agg_planes_[li];
     if (D == 0) continue;
-    const unsigned d = D - planes_used_[li];
+    const unsigned d = D - std::min(floor[li], D);
     const double amp =
         backend_->amplification(header_, cfg_.error_model, li + 1);
     double worst = 0.0;
@@ -371,89 +381,223 @@ double ProgressiveReader<T>::current_guaranteed_error() const {
 }
 
 template <typename T>
+double ProgressiveReader<T>::current_guaranteed_error() const {
+  return guarantee_for(planes_used_);
+}
+
+template <typename T>
+double ProgressiveReader<T>::region_guarantee(
+    const std::vector<std::uint32_t>& blocks,
+    const std::vector<unsigned>* axis_targets,
+    const std::vector<unsigned>* depths) const {
+  const double step = 2.0 * header_.eb;
+  double err = header_.eb;
+  for (unsigned li = 0; li < n_levels_; ++li) {
+    const double amp =
+        backend_->amplification(header_, cfg_.error_model, li + 1);
+    double worst = 0.0;
+    bool any = false;
+    for (std::uint32_t b : blocks) {
+      const auto& levels = levels_of(b);
+      if (li >= levels.size()) continue;
+      const LevelHeader& lh = levels[li];
+      if (!lh.progressive || lh.n_planes == 0) continue;
+      unsigned used = blocks_[b].planes_used[li];
+      if (axis_targets) {
+        const unsigned D = (*depths)[li];
+        const unsigned d = D - std::min((*axis_targets)[li], D);
+        used = std::max(used, lh.n_planes - std::min(d, lh.n_planes));
+      }
+      worst = std::max(worst,
+                       static_cast<double>(lh.loss[lh.n_planes - used]));
+      any = true;
+    }
+    if (any) err += amp * worst * step;
+  }
+  return err;
+}
+
+template <typename T>
+RetrievalPlan ProgressiveReader<T>::plan(const Request& req) const {
+  RetrievalPlan p;
+  p.request = req;
+  p.epoch = epoch_;
+  p.region_scoped = req.region.has_value();
+  if (p.region_scoped) {
+    const RegionBox& box = *req.region;
+    for (std::size_t i = 0; i < header_.dims.rank(); ++i) {
+      if (box.lo[i] >= box.hi[i] || box.hi[i] > header_.dims[i]) {
+        throw std::invalid_argument("plan: bad region bounds");
+      }
+    }
+  }
+  for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
+    if (!p.region_scoped ||
+        grid_.intersects(b, req.region->lo, req.region->hi)) {
+      p.blocks.push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+
+  // Base (+aux) segments are mandatory: their bytes come off byte budgets
+  // before any plane is priced, exactly as the legacy paths charged them.
+  std::vector<SegmentId> base_segs;
+  for (std::uint32_t b : p.blocks) plan_block_base(b, base_segs);
+  std::uint64_t base_bytes = 0;
+  for (const SegmentId& id : base_segs) base_bytes += src_.segment_size(id);
+
+  // Planner axis + inputs: the whole-field aggregates for uniform plans, the
+  // intersecting-blocks aggregates for region plans.
+  std::vector<unsigned> depths, floor;
+  std::vector<LevelPlanInput> inputs;
+  if (!p.region_scoped) {
+    depths = agg_planes_;
+    floor = planes_used_;
+    inputs = planner_inputs();
+  } else {
+    region_axis(p.blocks, depths, floor, inputs);
+  }
+
+  LoadPlan lp;
+  if (std::holds_alternative<Request::Full>(req.target)) {
+    lp.planes_to_use.assign(depths.begin(), depths.end());
+  } else if (const auto* eb = std::get_if<Request::ErrorBound>(&req.target)) {
+    lp = plan_error_bound(inputs, eb->target - header_.eb, cfg_.planner);
+  } else {
+    std::uint64_t budget = 0;
+    if (const auto* bb = std::get_if<Request::ByteBudget>(&req.target)) {
+      budget = bb->budget;
+    } else {
+      const auto& br = std::get<Request::Bitrate>(req.target);
+      const double total_budget = br.bits_per_value *
+                                  static_cast<double>(header_.dims.count()) /
+                                  8.0;
+      const double already = static_cast<double>(src_.bytes_read());
+      budget = total_budget > already
+                   ? static_cast<std::uint64_t>(total_budget - already)
+                   : 0;
+    }
+    const std::uint64_t remaining =
+        budget > base_bytes ? budget - base_bytes : 0;
+    lp = plan_byte_budget(inputs, remaining, cfg_.planner);
+  }
+
+  p.plane_targets.assign(n_levels_, 0);
+  for (unsigned li = 0; li < n_levels_; ++li) {
+    p.plane_targets[li] =
+        std::min(std::max(lp.planes_to_use[li], floor[li]), depths[li]);
+  }
+
+  // Assemble the fetch list in the documented order: uniform plans list all
+  // pending bases first, then planes per block; region plans interleave base
+  // and planes per intersecting block.
+  if (!p.region_scoped) {
+    p.segments = std::move(base_segs);
+    for (std::uint32_t b : p.blocks) {
+      plan_block_planes(b, block_targets(b, p.plane_targets, depths),
+                        p.segments);
+    }
+  } else {
+    for (std::uint32_t b : p.blocks) {
+      plan_block_base(b, p.segments);
+      plan_block_planes(b, block_targets(b, p.plane_targets, depths),
+                        p.segments);
+    }
+  }
+
+  p.bytes_new = unattributed_open_cost_;
+  for (const SegmentId& id : p.segments) p.bytes_new += src_.segment_size(id);
+  p.guaranteed_error =
+      p.region_scoped ? region_guarantee(p.blocks, &p.plane_targets, &depths)
+                      : guarantee_for(p.plane_targets);
+  return p;
+}
+
+template <typename T>
+RetrievalStats ProgressiveReader<T>::execute(const RetrievalPlan& p) {
+  if (p.epoch != epoch_) {
+    throw std::logic_error(
+        "execute: stale plan (the reader advanced since plan() ran)");
+  }
+  const std::size_t entry = src_.bytes_read();
+
+  // One bulk fetch for everything the plan names — base, aux and plane
+  // segments across all blocks.  Sources that batch (FileSource coalesces
+  // adjacent ranges) see the whole request at once.  State transitions only
+  // after the fetch succeeds: a failed read leaves the epoch (the plan stays
+  // retryable) and the open-cost attribution untouched.
+  std::vector<Bytes> payloads = src_.read_many(p.segments);
+  ++epoch_;
+  // The construction-time header read is attributed to the first executed
+  // request — even an empty one — so Σ bytes_new == bytes_total always.
+  const std::size_t before = entry - unattributed_open_cost_;
+  unattributed_open_cost_ = 0;
+
+  std::vector<FetchedBlock> fetched(grid_.n_blocks);
+  for (std::size_t i = 0; i < p.segments.size(); ++i) {
+    const SegmentId& id = p.segments[i];
+    FetchedBlock& fb = fetched[id.block];
+    if (id.kind == kSegBase) {
+      if (fb.base.empty()) fb.base.resize(levels_of(id.block).size());
+      fb.base[id.level - 1] = std::move(payloads[i]);
+      fb.has_base = true;
+    } else if (id.kind == kSegAux) {
+      fb.aux = std::move(payloads[i]);
+    } else {
+      fetched_plane_bytes_[id.level - 1][id.plane] += payloads[i].size();
+      fb.planes.emplace_back(id.level - 1, id.plane, std::move(payloads[i]));
+    }
+  }
+
+  if (xhat_.empty()) xhat_.assign(header_.dims.count(), T{});
+  // Decode bases first (plane decoding reads the base codes), then fold the
+  // new planes in and reconstruct; both passes run concurrently across
+  // blocks, each block's inner loops serial (nested-parallelism guard), so
+  // output is deterministic.
+  parallel_for_ex(0, grid_.n_blocks, [&](std::size_t b) {
+    if (fetched[b].has_base) decode_base(b, fetched[b]);
+  }, /*grain=*/2);
+  parallel_for_ex(0, p.blocks.size(), [&](std::size_t i) {
+    decode_and_reconstruct(p.blocks[i], fetched[p.blocks[i]]);
+  }, /*grain=*/2);
+
+  if (!p.region_scoped) {
+    // plane_targets was clamped against the floor at plan time, so this only
+    // ever raises the uniform floor.  Region plans advance individual blocks
+    // (tracked per block in decode_and_reconstruct), never the floor.
+    planes_used_ = p.plane_targets;
+  }
+  RetrievalStats st = finish_stats(before);
+  if (p.region_scoped) {
+    st.guaranteed_error = region_guarantee(p.blocks, nullptr, nullptr);
+  }
+  return st;
+}
+
+template <typename T>
 RetrievalStats ProgressiveReader<T>::request_error_bound(double target) {
-  const std::size_t before = src_.bytes_read();
-  ensure_base_loaded();
-  const double budget = target - header_.eb;
-  auto plan = plan_error_bound(planner_inputs(), budget, cfg_.planner);
-  return apply_plan(plan, before);
+  return execute(plan(Request::error_bound(target)));
 }
 
 template <typename T>
 RetrievalStats ProgressiveReader<T>::request_bytes(std::uint64_t budget_bytes) {
-  const std::size_t before = src_.bytes_read();
-  ensure_base_loaded();
-  const std::size_t mandatory = src_.bytes_read() - before;
-  const std::uint64_t remaining =
-      budget_bytes > mandatory ? budget_bytes - mandatory : 0;
-  auto plan = plan_byte_budget(planner_inputs(), remaining, cfg_.planner);
-  return apply_plan(plan, before);
+  return execute(plan(Request::bytes(budget_bytes)));
 }
 
 template <typename T>
 RetrievalStats ProgressiveReader<T>::request_bitrate(double bits_per_value) {
-  const double total_budget =
-      bits_per_value * static_cast<double>(header_.dims.count()) / 8.0;
-  const double already = static_cast<double>(src_.bytes_read());
-  std::uint64_t budget =
-      total_budget > already
-          ? static_cast<std::uint64_t>(total_budget - already)
-          : 0;
-  return request_bytes(budget);
+  return execute(plan(Request::bitrate(bits_per_value)));
 }
 
 template <typename T>
 RetrievalStats ProgressiveReader<T>::request_full() {
-  const std::size_t before = src_.bytes_read();
-  ensure_base_loaded();
-  LoadPlan plan;
-  plan.planes_to_use.assign(agg_planes_.begin(), agg_planes_.end());
-  return apply_plan(plan, before);
+  return execute(plan(Request::full()));
 }
 
 template <typename T>
 RetrievalStats ProgressiveReader<T>::request_region(
     const std::array<std::size_t, kMaxRank>& lo,
     const std::array<std::size_t, kMaxRank>& hi) {
-  for (std::size_t i = 0; i < header_.dims.rank(); ++i) {
-    if (lo[i] >= hi[i] || hi[i] > header_.dims[i]) {
-      throw std::invalid_argument("request_region: bad region bounds");
-    }
-  }
-  const std::size_t before = src_.bytes_read() - unattributed_open_cost_;
-  unattributed_open_cost_ = 0;
-
-  // Touch only intersecting blocks: fetch their base + all remaining planes,
-  // then decode and reconstruct them concurrently at full fidelity.
-  std::vector<std::size_t> selected;
-  for (std::size_t b = 0; b < grid_.n_blocks; ++b) {
-    if (grid_.intersects(b, lo, hi)) selected.push_back(b);
-  }
-  std::vector<FetchedBlock> fetched(selected.size());
-  for (std::size_t i = 0; i < selected.size(); ++i) {
-    const std::size_t b = selected[i];
-    if (!blocks_[b].base_loaded) fetch_base(b, fetched[i]);
-    std::vector<unsigned> full(levels_of(b).size());
-    for (unsigned li = 0; li < full.size(); ++li) {
-      full[li] = levels_of(b)[li].n_planes;
-    }
-    // fetch_planes consults planes_used, which is only valid once the base
-    // has been decoded; a block fetched fresh here has planes_used == 0.
-    fetch_planes(b, full, fetched[i]);
-  }
-
-  if (xhat_.empty()) xhat_.assign(header_.dims.count(), T{});
-  parallel_for_ex(0, selected.size(), [&](std::size_t i) {
-    const std::size_t b = selected[i];
-    if (fetched[i].has_base) decode_base(b, fetched[i]);
-    decode_and_reconstruct(b, fetched[i]);
-  }, /*grain=*/2);
-
-  RetrievalStats st = finish_stats(before);
-  // The loaded blocks are at full fidelity: within the region the guarantee
-  // is the compression bound, regardless of the global plane floor.
-  st.guaranteed_error = header_.eb;
-  return st;
+  return execute(plan(Request::full().within(lo, hi)));
 }
 
 template class ProgressiveReader<float>;

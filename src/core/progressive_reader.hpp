@@ -2,28 +2,36 @@
 //
 // A ProgressiveReader owns the retrieval state for one archive: which planes
 // of which levels are resident, the partial negabinary codes, and the current
-// reconstruction.  Each request plans the minimum set of additional plane
-// segments (DP knapsack over the header's δy tables), fetches exactly those,
-// and hands the new bits to the archive's ProgressiveBackend:
-//   * first request — full backend reconstruction from the partial codes
-//     (Algorithm 1);
-//   * refinements  — the backend folds the *newly added* code bits into its
-//     existing output (Algorithm 2 for the interpolation backend; transform
+// reconstruction.  Retrieval is an explicit plan/execute split:
+//   * plan(Request) computes — without moving a payload byte — the minimum
+//     set of additional segments (DP knapsack over the header's δy tables)
+//     that meets the request's fidelity target, returning an inspectable
+//     RetrievalPlan (ordered segment list, predicted bytes, predicted
+//     guaranteed error, per-level plane targets);
+//   * execute(plan) fetches exactly the planned segments through a single
+//     SegmentSource::read_many call (FileSource coalesces adjacent ranges
+//     into bulk reads) and hands the new bits to the archive's
+//     ProgressiveBackend: a full backend reconstruction from the partial
+//     codes on a block's first touch (Algorithm 1), incremental refinement
+//     afterwards (Algorithm 2 for the interpolation backend; transform
 //     backends may simply rebuild the block).
+// The five legacy request_* methods are one-line plan+execute wrappers and
+// remain fully supported.
 //
 // Everything format- and transform-specific — code -> field reconstruction
 // and the per-level loss amplification the planner prices with — lives in
 // the backend (core/backend.hpp); this class owns the shared machinery:
-// segment fetching and byte accounting, base/plane decoding, the plane
-// planner, and block scheduling.
+// segment planning/fetching and byte accounting, base/plane decoding, the
+// plane planner, and block scheduling.
 //
 // Block-decomposed (v2/v3) archives hold one independent code/outlier state
 // per block.  Uniform requests (error bound / bytes / bitrate / full) plan
 // over per-level aggregates — plane sizes summed and truncation losses maxed
-// across blocks — fetch segments serially, then decode and reconstruct the
-// blocks concurrently.  request_region() additionally serves region-of-
-// interest retrieval: it reads and reconstructs only the blocks intersecting
-// the requested region.
+// across blocks — then decode and reconstruct the blocks concurrently.
+// A Request carrying a region box additionally scopes retrieval to the
+// blocks intersecting the box: the same DP planner runs over those blocks'
+// aggregates, so a region can be combined with any fidelity target (the
+// legacy request_region is the full-fidelity special case).
 #pragma once
 
 #include <array>
@@ -35,6 +43,7 @@
 #include "core/backend.hpp"
 #include "core/blocks.hpp"
 #include "core/header.hpp"
+#include "core/request.hpp"
 #include "io/archive.hpp"
 #include "loader/error_model.hpp"
 #include "loader/optimizer.hpp"
@@ -49,10 +58,14 @@ struct ReaderConfig {
 /// Outcome of one retrieval request.
 struct RetrievalStats {
   /// eb + Σ amplified truncation loss under the current plane set: the L∞
-  /// error the reader guarantees for its current output.  For
-  /// request_region() the guarantee covers the requested region only.
+  /// error the reader guarantees for its current output.  For region-scoped
+  /// requests the guarantee covers the requested region only.
   double guaranteed_error = 0.0;
   /// Bytes fetched by this request (segments + first-touch header cost).
+  /// The archive open cost (header + segment table, charged at reader
+  /// construction) is attributed to the *first* executed request — even one
+  /// that fetches no segments — so that Σ bytes_new over any request
+  /// sequence, uniform and region-scoped alike, equals bytes_total.
   std::size_t bytes_new = 0;
   /// Cumulative bytes fetched from the source so far.
   std::size_t bytes_total = 0;
@@ -65,18 +78,36 @@ class ProgressiveReader {
  public:
   explicit ProgressiveReader(SegmentSource& src, ReaderConfig cfg = {});
 
+  /// Compute what `req` would fetch, without any payload I/O: plan() touches
+  /// only the parsed header and the segment-size index (both part of the
+  /// open cost), so it is free to call for admission control, prefetch
+  /// scheduling, or dry-run inspection.  The returned plan's bytes_new and
+  /// guaranteed_error predictions are exact for the execute() that follows.
+  RetrievalPlan plan(const Request& req) const;
+
+  /// Fetch the plan's segments — all of them through one bulk
+  /// SegmentSource::read_many call — and fold them into the reconstruction.
+  /// A plan is valid for one execution against the reader state it was
+  /// computed from; executing a stale plan (the reader advanced since its
+  /// plan() ran) throws std::logic_error.
+  RetrievalStats execute(const RetrievalPlan& plan);
+
   /// Retrieve so the output's L∞ error is guaranteed <= target (must be
   /// >= the compression eb; smaller targets retrieve everything).
+  /// Equivalent to execute(plan(Request::error_bound(target))).
   RetrievalStats request_error_bound(double target);
 
   /// Retrieve at most `budget_bytes` additional bytes, minimizing error.
+  /// Equivalent to execute(plan(Request::bytes(budget_bytes))).
   RetrievalStats request_bytes(std::uint64_t budget_bytes);
 
   /// Retrieve so the *cumulative* retrieved volume stays within
   /// bits_per_value * n / 8 bytes (the paper's fixed-bitrate mode).
+  /// Equivalent to execute(plan(Request::bitrate(bits_per_value))).
   RetrievalStats request_bitrate(double bits_per_value);
 
   /// Retrieve all remaining planes (full-fidelity output, error <= eb).
+  /// Equivalent to execute(plan(Request::full())).
   RetrievalStats request_full();
 
   /// Region-of-interest retrieval: load the blocks of a block-decomposed
@@ -85,6 +116,9 @@ class ProgressiveReader {
   /// eb of the original; elements in non-intersecting blocks are whatever
   /// earlier requests produced (zero if none ran).  On a whole-field (v1)
   /// archive the single block spans the field, so this equals request_full.
+  /// Equivalent to execute(plan(Request::full().within(lo, hi))); combine a
+  /// region with an error-bound or byte target by building the Request
+  /// directly.
   RetrievalStats request_region(const std::array<std::size_t, kMaxRank>& lo,
                                 const std::array<std::size_t, kMaxRank>& hi);
 
@@ -121,23 +155,43 @@ class ProgressiveReader {
     return header_.block_side == 0 ? header_.levels : header_.block_levels[b];
   }
 
-  void ensure_base_loaded();
-  void fetch_base(std::size_t b, FetchedBlock& out);
   void decode_base(std::size_t b, FetchedBlock& fetched);
-  /// Queue the not-yet-resident plane segments of block `b` needed to reach
-  /// `targets[li]` planes-from-the-top per level (block-local units).
-  void fetch_planes(std::size_t b, const std::vector<unsigned>& targets,
-                    FetchedBlock& out);
   /// Decode fetched planes into the block's codes, then hand the block to
   /// the backend (full reconstruct on first touch, refine afterwards).
   void decode_and_reconstruct(std::size_t b, FetchedBlock& fetched);
   std::vector<LevelPlanInput> planner_inputs() const;
-  RetrievalStats apply_plan(const LoadPlan& plan, std::size_t bytes_before);
   RetrievalStats finish_stats(std::size_t before);
-  /// Per-block plane targets for a uniform plan entry (global planes-from-top
-  /// axis, see planner_inputs()).
+  /// Per-block plane targets for a plan-axis entry: `axis[li]` planes from
+  /// the top of a per-level axis `depths[li]` planes deep (the whole-field
+  /// aggregate for uniform plans, the intersecting-blocks aggregate for
+  /// region plans).
   std::vector<unsigned> block_targets(std::size_t b,
-                                      const std::vector<unsigned>& global) const;
+                                      const std::vector<unsigned>& axis,
+                                      const std::vector<unsigned>& depths) const;
+  /// Plan-axis geometry and planner inputs over `blocks` only: per-level
+  /// depths (max n_planes), the resident floor (min planes-from-top, counted
+  /// on the axis), and LevelPlanInputs pricing exactly the segments those
+  /// blocks still miss.
+  void region_axis(const std::vector<std::uint32_t>& blocks,
+                   std::vector<unsigned>& depths, std::vector<unsigned>& floor,
+                   std::vector<LevelPlanInput>& inputs) const;
+  /// Guaranteed L∞ error with every block at `floor[li]` planes-from-top on
+  /// the whole-field aggregate axis (current_guaranteed_error() at the
+  /// current floor; plan() predicts with the post-execution floor).
+  double guarantee_for(const std::vector<unsigned>& floor) const;
+  /// Region-scoped guarantee over `blocks` from their individual resident
+  /// plane counts; `axis_targets`/`depths` (optional, for plan-time
+  /// prediction) raise each block to its planned target first.
+  double region_guarantee(const std::vector<std::uint32_t>& blocks,
+                          const std::vector<unsigned>* axis_targets,
+                          const std::vector<unsigned>* depths) const;
+  /// Append the not-yet-resident plane segments of block `b` needed to reach
+  /// `targets[li]` planes-from-the-top per level (block-local units), in
+  /// fetch order (level-ascending, MSB-first within a level).
+  void plan_block_planes(std::size_t b, const std::vector<unsigned>& targets,
+                         std::vector<SegmentId>& out) const;
+  /// Append block `b`'s base (+aux) segments when not yet resident.
+  void plan_block_base(std::size_t b, std::vector<SegmentId>& out) const;
 
   SegmentSource& src_;
   ReaderConfig cfg_;
@@ -145,6 +199,9 @@ class ProgressiveReader {
   /// Header/index bytes charged at construction, attributed to the first
   /// request so that bytes_new sums to bytes_total.
   std::size_t unattributed_open_cost_ = 0;
+  /// State serial: bumped by every execute(); plans record it so execute()
+  /// can reject plans computed against an older state.
+  std::uint64_t epoch_ = 0;
   Header header_;
   BlockGrid grid_;
   unsigned n_levels_ = 0;  // max over blocks

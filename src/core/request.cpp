@@ -1,0 +1,63 @@
+#include "core/request.hpp"
+
+#include <cstdio>
+
+#include "core/header.hpp"
+
+namespace ipcomp {
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(const Request& req, std::size_t rank) {
+  std::string s;
+  if (std::holds_alternative<Request::Full>(req.target)) {
+    s = "full";
+  } else if (const auto* eb = std::get_if<Request::ErrorBound>(&req.target)) {
+    s = "error_bound " + num(eb->target);
+  } else if (const auto* bb = std::get_if<Request::ByteBudget>(&req.target)) {
+    s = "bytes " + std::to_string(bb->budget);
+  } else {
+    s = "bitrate " + num(std::get<Request::Bitrate>(req.target).bits_per_value);
+  }
+  if (req.region) {
+    const std::size_t r = rank < kMaxRank ? rank : kMaxRank;
+    std::string lo, hi;
+    for (std::size_t i = 0; i < r; ++i) {
+      // Append piecewise: operator+ of a literal and a std::to_string
+      // temporary trips the GCC 12 -Wrestrict false positive (PR 105329).
+      if (i) {
+        lo.append(",");
+        hi.append(",");
+      }
+      lo.append(std::to_string(req.region->lo[i]));
+      hi.append(std::to_string(req.region->hi[i]));
+    }
+    s.append(" within [").append(lo).append("):[").append(hi).append(")");
+  }
+  return s;
+}
+
+std::string to_string(const SegmentId& id) {
+  std::string s;
+  if (id.kind == kSegBase) {
+    s = "base L" + std::to_string(id.level);
+  } else if (id.kind == kSegPlane) {
+    s = "plane L" + std::to_string(id.level) + " k" + std::to_string(id.plane);
+  } else if (id.kind == kSegAux) {
+    s = "aux";
+  } else {
+    s = "kind" + std::to_string(id.kind) + " L" + std::to_string(id.level) +
+        " k" + std::to_string(id.plane);
+  }
+  return s + " b" + std::to_string(id.block);
+}
+
+}  // namespace ipcomp

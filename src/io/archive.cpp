@@ -1,9 +1,26 @@
 #include "io/archive.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
 namespace ipcomp {
+
+std::vector<Bytes> SegmentSource::read_many(std::span<const SegmentId> ids) {
+  std::vector<Bytes> out;
+  out.reserve(ids.size());
+  const std::size_t charged_before = bytes_read_;
+  try {
+    for (const SegmentId& id : ids) out.push_back(read_segment(id));
+  } catch (...) {
+    // A mid-batch failure delivers nothing, so nothing may stay charged —
+    // same all-or-nothing accounting as FileSource::read_many, keeping a
+    // retried execute() from double-counting retrieved volume.
+    bytes_read_ = charged_before;
+    throw;
+  }
+  return out;
+}
 
 namespace {
 constexpr std::uint32_t kMagic = 0x41435049u;  // "IPCA" little-endian
@@ -93,6 +110,7 @@ const Bytes& MemorySource::header() {
   if (!header_charged_) {
     // Header + segment table are the fixed cost of opening the archive.
     bytes_read_ += index_.header_offset + index_.header_length;
+    ++read_calls_;
     header_charged_ = true;
   }
   return header_cache_;
@@ -102,6 +120,7 @@ Bytes MemorySource::read_segment(SegmentId id) {
   auto it = index_.entries.find(id.key(index_.version));
   if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
   bytes_read_ += it->second.length;
+  ++read_calls_;
   return Bytes(blob_.begin() + it->second.offset,
                blob_.begin() + it->second.offset + it->second.length);
 }
@@ -156,6 +175,7 @@ const Bytes& FileSource::header() {
   if (!header_loaded_) {
     header_cache_ = read_range(index_.header_offset, index_.header_length);
     bytes_read_ += index_.header_offset + index_.header_length;
+    ++read_calls_;
     header_loaded_ = true;
   }
   return header_cache_;
@@ -165,7 +185,68 @@ Bytes FileSource::read_segment(SegmentId id) {
   auto it = index_.entries.find(id.key(index_.version));
   if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
   bytes_read_ += it->second.length;
+  ++read_calls_;
   return read_range(it->second.offset, it->second.length);
+}
+
+std::vector<Bytes> FileSource::read_many(std::span<const SegmentId> ids) {
+  std::vector<Bytes> out(ids.size());
+  if (ids.empty()) return out;
+
+  // Resolve every id up front (so a missing segment throws before any read),
+  // then visit the batch in file-offset order: requests usually arrive in
+  // table order already, but plane segments of one level are planned
+  // MSB-first while the file stores them LSB-first.
+  struct Item {
+    std::size_t idx;  // position in the request (and output) order
+    std::size_t offset;
+    std::size_t length;
+  };
+  std::vector<Item> items;
+  items.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto it = index_.entries.find(ids[i].key(index_.version));
+    if (it == index_.entries.end()) {
+      throw std::runtime_error("archive: missing segment");
+    }
+    items.push_back({i, it->second.offset, it->second.length});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.offset < b.offset; });
+
+  File f(path_, "rb");
+  Bytes buf;
+  for (std::size_t i = 0; i < items.size();) {
+    // Coalesce the run of segments whose ranges start within
+    // kCoalesceGapBytes of the current range's end into one read; the gap
+    // bytes are read through but never charged to bytes_read().
+    std::size_t begin = items[i].offset;
+    std::size_t end = begin + items[i].length;
+    std::size_t j = i + 1;
+    while (j < items.size() && items[j].offset <= end + kCoalesceGapBytes) {
+      end = std::max(end, items[j].offset + items[j].length);
+      ++j;
+    }
+    buf.resize(end - begin);
+    std::fseek(f.get(), static_cast<long>(begin), SEEK_SET);
+    if (!buf.empty() &&
+        std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+      throw std::runtime_error("archive: short segment read");
+    }
+    ++read_calls_;
+    ++coalesced_ranges_;
+    for (; i < j; ++i) {
+      const Item& item = items[i];
+      out[item.idx].assign(buf.begin() + (item.offset - begin),
+                           buf.begin() + (item.offset - begin) + item.length);
+    }
+  }
+  // Charged only once the whole batch delivered: a throw mid-batch (missing
+  // id, short read) must not inflate bytes_read() with payloads that were
+  // never handed out, or the retrieved-volume metric — and the reader's
+  // Σ bytes_new == bytes_total invariant across a retried execute() — drifts.
+  for (const Item& item : items) bytes_read_ += item.length;
+  return out;
 }
 
 bool FileSource::has_segment(SegmentId id) const {

@@ -77,9 +77,15 @@ class ArchiveBuilder {
 
   void set_header(Bytes header) { header_ = std::move(header); }
 
+  /// Appends one segment; throws std::invalid_argument on a duplicate id —
+  /// silently accepting one would grow `order_` while the map kept a single
+  /// entry, corrupting finish()'s table/payload pairing.
   void add_segment(SegmentId id, Bytes payload) {
-    order_.push_back(id.key(version_));
-    segments_[id.key(version_)] = std::move(payload);
+    const std::uint64_t key = id.key(version_);
+    if (!segments_.emplace(key, std::move(payload)).second) {
+      throw std::invalid_argument("archive: duplicate segment id");
+    }
+    order_.push_back(key);
   }
 
   /// Serialize to a single byte stream.
@@ -103,6 +109,14 @@ class SegmentSource {
   virtual const Bytes& header() = 0;
   /// Returns the payload for `id`; throws if the segment does not exist.
   virtual Bytes read_segment(SegmentId id) = 0;
+  /// Fetch many segments in one operation; payloads come back in request
+  /// order.  The base implementation loops read_segment(); sources with a
+  /// per-operation cost (files, remote stores) override it to batch — e.g.
+  /// FileSource sorts by file offset and coalesces near-adjacent ranges into
+  /// single reads.  Only the requested segments' payload bytes are charged to
+  /// bytes_read(), never coalescing gap bytes: the retrieved-data-volume
+  /// metric must not depend on the fetch strategy.
+  virtual std::vector<Bytes> read_many(std::span<const SegmentId> ids);
   virtual bool has_segment(SegmentId id) const = 0;
   virtual std::size_t segment_size(SegmentId id) const = 0;
   /// All segment ids present in the container, in table order.  Free to call:
@@ -115,12 +129,24 @@ class SegmentSource {
   std::size_t bytes_read() const { return bytes_read_; }
   void reset_bytes_read() { bytes_read_ = 0; }
 
+  /// Physical read operations issued so far (header + segment fetches; a
+  /// coalesced bulk read counts once per contiguous range).  Benchmarks use
+  /// the ratio of segments fetched to read_calls() as the fetch-efficiency
+  /// figure.
+  std::size_t read_calls() const { return read_calls_; }
+
   /// Total serialized archive size (for compression-ratio accounting).
   virtual std::size_t total_size() const = 0;
 
  protected:
   std::size_t bytes_read_ = 0;
+  std::size_t read_calls_ = 0;
 };
+
+/// Adjacent-range coalescing threshold for batched file reads: two segments
+/// whose file ranges are within this many bytes of each other are served by
+/// one read (the gap is cheaper to read through than a second seek+read).
+inline constexpr std::size_t kCoalesceGapBytes = 4096;
 
 /// Parses the serialized archive layout; shared by the concrete sources.
 struct ArchiveIndex {
@@ -171,17 +197,25 @@ class MemorySource final : public SegmentSource {
 };
 
 /// SegmentSource over a file on disk; performs real seek+read per segment.
+/// read_many() sorts the batch by file offset and coalesces ranges within
+/// kCoalesceGapBytes of each other into single bulk reads, slicing each
+/// payload out of the shared buffer — one open + one read per contiguous run
+/// instead of one per segment.
 class FileSource final : public SegmentSource {
  public:
   explicit FileSource(std::string path);
 
   const Bytes& header() override;
   Bytes read_segment(SegmentId id) override;
+  std::vector<Bytes> read_many(std::span<const SegmentId> ids) override;
   bool has_segment(SegmentId id) const override;
   std::size_t segment_size(SegmentId id) const override;
   std::vector<SegmentId> segment_ids() const override { return index_.ids(); }
   std::uint32_t version() const override { return index_.version; }
   std::size_t total_size() const override { return file_size_; }
+
+  /// Coalesced ranges issued by read_many() so far (each is one read call).
+  std::size_t coalesced_ranges() const { return coalesced_ranges_; }
 
  private:
   Bytes read_range(std::size_t offset, std::size_t length) const;
@@ -191,6 +225,7 @@ class FileSource final : public SegmentSource {
   ArchiveIndex index_;
   Bytes header_cache_;
   bool header_loaded_ = false;
+  std::size_t coalesced_ranges_ = 0;
 };
 
 /// Write a serialized archive to disk.

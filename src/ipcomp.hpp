@@ -15,6 +15,15 @@
 //   auto finer  = reader.request_bitrate(2.0);        // incremental refine
 //   auto full   = reader.request_full();              // error <= eb
 //   const std::vector<double>& values = reader.data();
+//
+// Or with the plan/execute split (same machinery; the request_* methods are
+// wrappers) — inspect what a request would fetch before moving any bytes,
+// and compose a region with a fidelity target:
+//
+//   auto plan = reader.plan(
+//       ipcomp::Request::error_bound(1e-3).within({0,0,0}, {64,64,64}));
+//   // plan.segments / plan.bytes_new / plan.guaranteed_error ...
+//   auto stats = reader.execute(plan);
 #pragma once
 
 #include "core/backend.hpp"
@@ -22,6 +31,7 @@
 #include "core/header.hpp"
 #include "core/options.hpp"
 #include "core/progressive_reader.hpp"
+#include "core/request.hpp"
 #include "io/archive.hpp"
 #include "util/dims.hpp"
 #include "util/ndarray.hpp"

@@ -42,6 +42,98 @@ TEST(Archive, MissingSegmentThrows) {
   EXPECT_THROW(src.segment_size({9, 9, 9}), std::runtime_error);
 }
 
+TEST(Archive, BuilderRejectsDuplicateSegmentId) {
+  // Regression: a silently accepted duplicate grew order_ while the map kept
+  // one entry, so finish() paired the duplicated table row with the wrong
+  // payload range.
+  ArchiveBuilder b;
+  b.set_header(Bytes{1});
+  b.add_segment({0, 1, 0}, make_payload(8, 0xAA));
+  EXPECT_THROW(b.add_segment({0, 1, 0}, make_payload(8, 0xBB)),
+               std::invalid_argument);
+  // The builder is still usable: the first payload and new ids survive.
+  b.add_segment({1, 1, 0}, make_payload(4, 0xCC));
+  MemorySource src(b.finish());
+  EXPECT_EQ(src.read_segment({0, 1, 0}), make_payload(8, 0xAA));
+  EXPECT_EQ(src.read_segment({1, 1, 0}), make_payload(4, 0xCC));
+}
+
+TEST(Archive, ReadManyMatchesPerSegmentReads) {
+  ArchiveBuilder b;
+  b.set_header(make_payload(10, 1));
+  std::vector<SegmentId> ids;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    ids.push_back({1, static_cast<std::uint16_t>(i / 4 + 1), i % 4});
+    b.add_segment(ids.back(), make_payload(100 + 37 * i, static_cast<std::uint8_t>(i)));
+  }
+  Bytes blob = b.finish();
+
+  // Request in an order unlike the table's; payloads must come back in
+  // request order, identical to per-segment reads, with identical byte
+  // accounting (the default implementation is the per-id loop).
+  std::vector<SegmentId> order = {ids[7], ids[0], ids[11], ids[3], ids[7]};
+  MemorySource a{Bytes(blob)};
+  MemorySource c{Bytes(blob)};
+  auto batch = a.read_many(order);
+  ASSERT_EQ(batch.size(), order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(batch[i], c.read_segment(order[i])) << i;
+  }
+  EXPECT_EQ(a.bytes_read(), c.bytes_read());
+  EXPECT_THROW(a.read_many(std::vector<SegmentId>{{9, 9, 9}}),
+               std::runtime_error);
+  EXPECT_TRUE(a.read_many(std::vector<SegmentId>{}).empty());
+}
+
+TEST(Archive, FileSourceReadManyCoalescesAdjacentRanges) {
+  Rng rng(21);
+  ArchiveBuilder b;
+  b.set_header(make_payload(32, 1));
+  std::vector<SegmentId> ids;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    ids.push_back({1, 1, i});
+    Bytes payload(200 + rng.uniform_u64(400));
+    for (auto& x : payload) x = static_cast<std::uint8_t>(rng.next_u64());
+    b.add_segment(ids.back(), std::move(payload));
+  }
+  Bytes blob = b.finish();
+  std::string path = ::testing::TempDir() + "/ipcomp_read_many_test.bin";
+  write_file(path, blob);
+
+  // All 16 segments are adjacent in the file (table order), so the batch —
+  // requested in scrambled order — must collapse to one physical read, with
+  // only the payload bytes charged and payloads identical to MemorySource.
+  std::vector<SegmentId> order;
+  for (std::uint32_t i = 0; i < 16; ++i) order.push_back(ids[(7 * i + 3) % 16]);
+  FileSource fsrc(path);
+  MemorySource msrc{Bytes(blob)};
+  const std::size_t calls_before = fsrc.read_calls();
+  auto batch = fsrc.read_many(order);
+  EXPECT_EQ(fsrc.read_calls(), calls_before + 1);
+  EXPECT_EQ(fsrc.coalesced_ranges(), 1u);
+  std::size_t payload_bytes = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(batch[i], msrc.read_segment(order[i])) << i;
+    payload_bytes += batch[i].size();
+  }
+  EXPECT_EQ(fsrc.bytes_read(), payload_bytes);  // no gap bytes charged
+
+  // A segment far past the gap threshold forces a second range.
+  ArchiveBuilder b2;
+  b2.set_header(make_payload(8, 2));
+  b2.add_segment({1, 1, 0}, make_payload(64, 0x11));
+  b2.add_segment({1, 1, 1}, make_payload(3 * kCoalesceGapBytes, 0x22));
+  b2.add_segment({1, 1, 2}, make_payload(64, 0x33));
+  write_file(path, b2.finish());
+  FileSource far_src(path);
+  auto far = far_src.read_many(
+      std::vector<SegmentId>{{1, 1, 0}, {1, 1, 2}});
+  EXPECT_EQ(far_src.coalesced_ranges(), 2u);
+  EXPECT_EQ(far[0], make_payload(64, 0x11));
+  EXPECT_EQ(far[1], make_payload(64, 0x33));
+  std::remove(path.c_str());
+}
+
 TEST(Archive, BytesReadCountsOnlyTouchedSegments) {
   ArchiveBuilder b;
   b.set_header(make_payload(10, 1));

@@ -459,11 +459,23 @@ TEST(BlocksForged, MissingBlockSegmentRejected) {
 }
 
 TEST(BlocksForged, DuplicateSegmentKeyRejected) {
-  ArchiveBuilder b;
-  b.set_header(Bytes{1});
-  b.add_segment({0, 1, 0}, Bytes(8, 0xAA));
-  b.add_segment({0, 1, 0}, Bytes(8, 0xBB));  // same id: table aliases ranges
-  EXPECT_THROW(MemorySource src(b.finish()), std::runtime_error);
+  // The builder refuses duplicate ids (see ArchiveBuilderTest), so forge the
+  // duplicate table by hand: two rows with the same key aliasing two payload
+  // ranges must still be rejected by the parser.
+  const std::uint64_t key = SegmentId{0, 1, 0}.key(kArchiveV1);
+  ByteWriter w;
+  w.u32(0x41435049u);  // "IPCA"
+  w.u32(kArchiveV1);
+  w.varint(1);  // header length
+  w.u8(1);      // header payload
+  w.varint(2);  // two table rows, same key
+  w.u64(key);
+  w.varint(8);
+  w.u64(key);
+  w.varint(8);
+  Bytes blob = w.take();
+  blob.insert(blob.end(), 16, 0xAA);  // both payload ranges
+  EXPECT_THROW(MemorySource src(std::move(blob)), std::runtime_error);
 }
 
 }  // namespace
