@@ -11,21 +11,31 @@
 // google-benchmark lineup and instead times the block-decomposed pipeline
 // against the legacy whole-field path — plus a per-backend section (interp
 // vs wavelet at the same block side, including a progressive and a region
-// retrieval through the wavelet backend) — on one fixed synthetic field:
+// retrieval through the wavelet backend, and the bitplane engine's
+// plane-extract / multi-plane-deposit / fused-encode throughput) — on one
+// fixed synthetic field:
 //   IPCOMP_BENCH_SIDE  cubic field side (default 256)
 //   IPCOMP_BENCH_BLOCK block side (default side/4)
-//   IPCOMP_BENCH_REPS  repetitions, best-of (default 3)
-// Run with OMP_NUM_THREADS=4 to reproduce the >=2x speedup claim.
+//   --repeat N         repetitions, median-of-N (CI passes --repeat 3;
+//                      IPCOMP_BENCH_REPS is the fallback default)
+// Stage timings are the median of N runs so BENCH_ci.json numbers are stable
+// enough to compare across commits.  Run with OMP_NUM_THREADS=4 to reproduce
+// the >=2x speedup claim.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "bitplane/bitplane.hpp"
+#include "bitplane/negabinary.hpp"
 #include "core/compressor.hpp"
 #include "core/progressive_reader.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -129,24 +139,78 @@ FetchStats fetch_sweep(const Bytes& archive, const char* path) {
 }
 
 template <typename Fn>
-StageResult best_of(int reps, std::size_t raw_bytes, Fn&& fn) {
-  StageResult r;
-  r.seconds = 1e300;
-  for (int i = 0; i < reps; ++i) {
-    Timer t;
+StageResult median_of(int reps, std::size_t raw_bytes, Fn&& fn) {
+  std::vector<double> t(static_cast<std::size_t>(reps));
+  for (auto& s : t) {
+    Timer timer;
     fn();
-    r.seconds = std::min(r.seconds, t.seconds());
+    s = timer.seconds();
   }
+  std::sort(t.begin(), t.end());
+  StageResult r;
+  r.seconds = t[t.size() / 2];
   r.mb_per_s = mb_per_s(raw_bytes, r.seconds);
   return r;
 }
 
-int block_compare(const char* json_path) {
+/// Bitplane-engine throughput on one backend's code profile: plane extract
+/// and multi-plane deposit in GB/s of code bytes, the fused encode pass
+/// (count + loss table + plane split) in MB/s.
+struct BitplaneThroughput {
+  double extract_gbps = 0.0;
+  double deposit_gbps = 0.0;
+  double fused_encode_mbps = 0.0;
+};
+
+BitplaneThroughput bitplane_throughput(int reps, std::size_t n,
+                                       std::uint64_t seed, unsigned spread) {
+  // Negabinary codes with geometric magnitude classes; `spread` widens the
+  // tail (interp residuals are tighter than wavelet coefficients).  Classes
+  // are capped at 14 so every value stays inside negabinary_encode's
+  // documented 32-bit range (span/2 = 2^29 < kNegabinaryMax).
+  Rng rng(seed);
+  std::vector<std::uint32_t> codes(n);
+  for (auto& c : codes) {
+    const auto cls = std::min(14u, static_cast<unsigned>(__builtin_ctzll(
+                                       rng.next_u64() | (1ull << spread))));
+    const std::uint64_t span = 1ull << (2 * cls + 2);
+    c = negabinary_encode(static_cast<std::int64_t>(rng.uniform_u64(span)) -
+                          static_cast<std::int64_t>(span / 2));
+  }
+  const auto bytes = static_cast<double>(n * 4);
+  BitplaneThroughput out;
+  const StageResult ex = median_of(reps, n * 4, [&] {
+    auto planes = extract_all_planes(codes);
+    if (planes[0].empty() && n) std::printf("unreachable\n");
+  });
+  out.extract_gbps = bytes / 1.0e9 / ex.seconds;
+
+  LevelEncoding enc = encode_level(codes, /*with_loss=*/true);
+  std::vector<PlaneSpan> spans;
+  for (unsigned k = 0; k < enc.n_planes; ++k) {
+    spans.push_back({k, {enc.planes[k].data(), enc.planes[k].size()}});
+  }
+  std::vector<std::uint32_t> rebuilt(n);
+  const StageResult dep = median_of(reps, n * 4, [&] {
+    std::fill(rebuilt.begin(), rebuilt.end(), 0u);
+    deposit_planes(rebuilt, spans);
+  });
+  out.deposit_gbps = bytes / 1.0e9 / dep.seconds;
+  if (rebuilt != codes) std::printf("unreachable: deposit mismatch\n");
+
+  const StageResult en = median_of(reps, n * 4, [&] {
+    LevelEncoding e = encode_level(codes, /*with_loss=*/true);
+    if (e.n_planes != enc.n_planes) std::printf("unreachable\n");
+  });
+  out.fused_encode_mbps = mb_per_s(n * 4, en.seconds);
+  return out;
+}
+
+int block_compare(const char* json_path, int reps) {
   const std::size_t side = env_size("IPCOMP_BENCH_SIDE", 256);
   const std::size_t block = env_size("IPCOMP_BENCH_BLOCK", side / 4);
-  const int reps = static_cast<int>(env_size("IPCOMP_BENCH_REPS", 3));
   std::printf("=== Block-parallel vs legacy whole-field IPComp ===\n");
-  std::printf("field %zux%zux%zu f64, block side %zu, threads %d, best of %d\n",
+  std::printf("field %zux%zux%zu f64, block side %zu, threads %d, median of %d\n",
               side, side, side, block, thread_count(), reps);
 
   NdArray<double> field = synthetic_cube(side);
@@ -163,29 +227,29 @@ int block_compare(const char* json_path) {
   wavelet.backend = BackendId::kWavelet;
 
   Bytes archive_legacy, archive_block, archive_wavelet;
-  StageResult c_legacy = best_of(reps, raw, [&] {
+  StageResult c_legacy = median_of(reps, raw, [&] {
     archive_legacy = compress(field.const_view(), legacy);
   });
-  StageResult c_block = best_of(reps, raw, [&] {
+  StageResult c_block = median_of(reps, raw, [&] {
     archive_block = compress(field.const_view(), blocked);
   });
-  StageResult c_wavelet = best_of(reps, raw, [&] {
+  StageResult c_wavelet = median_of(reps, raw, [&] {
     archive_wavelet = compress(field.const_view(), wavelet);
   });
   double sink = 0.0;
-  StageResult d_legacy = best_of(reps, raw, [&] {
+  StageResult d_legacy = median_of(reps, raw, [&] {
     MemorySource src{Bytes(archive_legacy)};
     ProgressiveReader<double> reader(src);
     reader.request_full();
     sink += reader.data()[0];
   });
-  StageResult d_block = best_of(reps, raw, [&] {
+  StageResult d_block = median_of(reps, raw, [&] {
     MemorySource src{Bytes(archive_block)};
     ProgressiveReader<double> reader(src);
     reader.request_full();
     sink += reader.data()[0];
   });
-  StageResult d_wavelet = best_of(reps, raw, [&] {
+  StageResult d_wavelet = median_of(reps, raw, [&] {
     MemorySource src{Bytes(archive_wavelet)};
     ProgressiveReader<double> reader(src);
     reader.request_full();
@@ -223,6 +287,12 @@ int block_compare(const char* json_path) {
   FetchStats f_interp = fetch_sweep(archive_block, "BENCH_fetch_interp.ipc");
   FetchStats f_wavelet = fetch_sweep(archive_wavelet, "BENCH_fetch_wavelet.ipc");
 
+  // Bitplane-engine throughput on a field-sized code array per backend
+  // profile (interp: tight residuals; wavelet: wider coefficient tail).
+  const std::size_t n_codes = side * side * side;
+  BitplaneThroughput t_interp = bitplane_throughput(reps, n_codes, 101, 12);
+  BitplaneThroughput t_wavelet = bitplane_throughput(reps, n_codes, 202, 20);
+
   const double ratio_legacy = static_cast<double>(raw) /
                               static_cast<double>(archive_legacy.size());
   const double ratio_block = static_cast<double>(raw) /
@@ -257,6 +327,13 @@ int block_compare(const char* json_path) {
               "wavelet %zu segments in %zu reads\n",
               f_interp.segments, f_interp.read_calls, f_wavelet.segments,
               f_wavelet.read_calls);
+  std::printf("bitplane engine (%s): interp extract %.2f / deposit %.2f GB/s,"
+              " fused encode %.1f MB/s; wavelet extract %.2f / deposit %.2f"
+              " GB/s, fused encode %.1f MB/s\n",
+              to_string(simd_level()), t_interp.extract_gbps,
+              t_interp.deposit_gbps, t_interp.fused_encode_mbps,
+              t_wavelet.extract_gbps, t_wavelet.deposit_gbps,
+              t_wavelet.fused_encode_mbps);
   std::printf("(target: >=2x compression speedup at 4 threads, >=256^3)\n");
 
   if (json_path) {
@@ -272,6 +349,8 @@ int block_compare(const char* json_path) {
                  " \"bytes\": %zu},\n"
                  "  \"threads\": %d,\n"
                  "  \"block_side\": %zu,\n"
+                 "  \"repeat\": %d,\n"
+                 "  \"simd\": \"%s\",\n"
                  "  \"eb_relative\": 1e-6,\n"
                  "  \"stages\": {\n"
                  "    \"compress_legacy\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
@@ -287,7 +366,9 @@ int block_compare(const char* json_path) {
                  "      \"decompress\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
                  "      \"ratio\": %.4f,\n"
                  "      \"fetch\": {\"segments\": %zu, \"read_calls\": %zu,"
-                 " \"coalesced_ranges\": %zu, \"bytes\": %zu}\n"
+                 " \"coalesced_ranges\": %zu, \"bytes\": %zu},\n"
+                 "      \"throughput\": {\"extract_gbps\": %.4f,"
+                 " \"deposit_gbps\": %.4f, \"fused_encode_mbps\": %.2f}\n"
                  "    },\n"
                  "    \"wavelet\": {\n"
                  "      \"compress\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
@@ -299,11 +380,14 @@ int block_compare(const char* json_path) {
                  " \"compression_eb\": %.6e},\n"
                  "      \"region_octant_bytes\": %zu,\n"
                  "      \"fetch\": {\"segments\": %zu, \"read_calls\": %zu,"
-                 " \"coalesced_ranges\": %zu, \"bytes\": %zu}\n"
+                 " \"coalesced_ranges\": %zu, \"bytes\": %zu},\n"
+                 "      \"throughput\": {\"extract_gbps\": %.4f,"
+                 " \"deposit_gbps\": %.4f, \"fused_encode_mbps\": %.2f}\n"
                  "    }\n"
                  "  }\n"
                  "}\n",
-                 side, side, side, raw, thread_count(), block,
+                 side, side, side, raw, thread_count(), block, reps,
+                 to_string(simd_level()),
                  c_legacy.seconds, c_legacy.mb_per_s, c_block.seconds,
                  c_block.mb_per_s, d_legacy.seconds, d_legacy.mb_per_s,
                  d_block.seconds, d_block.mb_per_s, ratio_legacy, ratio_block,
@@ -312,12 +396,15 @@ int block_compare(const char* json_path) {
                  d_block.mb_per_s, ratio_block,
                  f_interp.segments, f_interp.read_calls,
                  f_interp.coalesced_ranges, f_interp.bytes,
+                 t_interp.extract_gbps, t_interp.deposit_gbps,
+                 t_interp.fused_encode_mbps,
                  c_wavelet.seconds, c_wavelet.mb_per_s, d_wavelet.seconds,
                  d_wavelet.mb_per_s, ratio_wavelet, archive_wavelet.size(),
                  wavelet_partial_bytes, wavelet_partial_guarantee, wavelet_eb,
                  wavelet_region_bytes, f_wavelet.segments,
                  f_wavelet.read_calls, f_wavelet.coalesced_ranges,
-                 f_wavelet.bytes);
+                 f_wavelet.bytes, t_wavelet.extract_gbps,
+                 t_wavelet.deposit_gbps, t_wavelet.fused_encode_mbps);
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   }
@@ -327,14 +414,24 @@ int block_compare(const char* json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  int reps = static_cast<int>(env_size("IPCOMP_BENCH_REPS", 3));
+  const char* json_path = nullptr;
+  bool compare = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--block-compare") == 0) {
-      return block_compare(nullptr);
-    }
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      return block_compare(argv[i + 1]);
+      compare = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      compare = true;
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      reps = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (reps < 1) {
+        std::fprintf(stderr, "bench_fig8: --repeat wants a positive count\n");
+        return 2;
+      }
     }
   }
+  if (compare) return block_compare(json_path, reps);
 
   banner("Compression / decompression speed", "paper Fig. 8");
   for (const auto& spec : datasets()) {

@@ -1,61 +1,51 @@
 #include "bitplane/bitplane.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
 
-#include "bitplane/negabinary.hpp"
 #include "util/parallel.hpp"
 
 namespace ipcomp {
 
-PlaneBits extract_plane(std::span<const std::uint32_t> values, unsigned k) {
-  PlaneBits out(plane_bytes(values.size()), 0);
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    out[i >> 3] |= static_cast<std::uint8_t>(((values[i] >> k) & 1u) << (i & 7));
-  }
-  return out;
-}
-
-std::array<PlaneBits, kPlaneCount> extract_all_planes(
-    std::span<const std::uint32_t> values) {
-  std::array<PlaneBits, kPlaneCount> planes;
-  const std::size_t nbytes = plane_bytes(values.size());
-  for (auto& p : planes) p.assign(nbytes, 0);
-
-  // Process 8 values per output byte; parallel over byte positions.
-  parallel_for(0, nbytes, [&](std::size_t byte) {
-    const std::size_t base = byte * 8;
-    const std::size_t lim = std::min<std::size_t>(8, values.size() - base);
-    std::array<std::uint8_t, kPlaneCount> acc{};
-    for (std::size_t j = 0; j < lim; ++j) {
-      std::uint32_t v = values[base + j];
-      while (v) {
-        unsigned k = static_cast<unsigned>(__builtin_ctz(v));
-        acc[k] |= static_cast<std::uint8_t>(1u << j);
-        v &= v - 1;
-      }
-    }
-    for (unsigned k = 0; k < kPlaneCount; ++k) {
-      if (acc[k]) planes[k][byte] = acc[k];
-    }
-  }, /*grain=*/4096);
-  return planes;
-}
-
-void deposit_plane(std::span<std::uint32_t> values,
-                   std::span<const std::uint8_t> plane, unsigned k) {
-  parallel_for(0, plane.size(), [&](std::size_t byte) {
-    std::uint8_t bits = plane[byte];
-    if (!bits) return;
-    const std::size_t base = byte * 8;
-    while (bits) {
-      unsigned j = static_cast<unsigned>(__builtin_ctz(bits));
-      values[base + j] |= (std::uint32_t{1} << k);
-      bits = static_cast<std::uint8_t>(bits & (bits - 1));
-    }
-  }, /*grain=*/8192);
-}
-
 namespace {
+
+// Plane buffers pack bit j of value j at byte j/8, bit j%8 — i.e. a tile's 8
+// bytes are its plane word in little-endian order.  These helpers move
+// (possibly partial, for tail tiles) words between buffers and registers.
+
+std::uint64_t load_word(const std::uint8_t* p, std::size_t nbytes) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p, nbytes);
+    return w;
+  } else {
+    std::uint64_t w = 0;
+    for (std::size_t i = 0; i < nbytes; ++i) {
+      w |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    return w;
+  }
+}
+
+void store_word(std::uint8_t* p, std::size_t nbytes, std::uint64_t w) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, &w, nbytes);
+  } else {
+    for (std::size_t i = 0; i < nbytes; ++i) {
+      p[i] = static_cast<std::uint8_t>(w >> (8 * i));
+    }
+  }
+}
+
+inline std::size_t tile_count(std::size_t n) {
+  return (n + kTileValues - 1) / kTileValues;
+}
+
+/// Per-tile grain for the plane loops: one tile is 64 values of word-level
+/// work, so ~512 tiles (32 Ki values) is where forking a team starts paying.
+constexpr std::size_t kTileGrain = 512;
 
 void accumulate_loss(std::span<const std::uint32_t> values,
                      std::array<std::int64_t, kPlaneCount + 1>& table) {
@@ -85,14 +75,110 @@ void accumulate_loss(std::span<const std::uint32_t> values,
   }
 }
 
+/// Chunk width shared by the fused encode pass and truncation_loss_table so
+/// both produce the same per-chunk partials (max-merge is exact either way;
+/// matching widths just keeps the two paths trivially comparable).
+constexpr std::size_t kLossChunk = 1 << 16;
+
 }  // namespace
+
+PlaneBits extract_plane(const TransposeOps& ops,
+                        std::span<const std::uint32_t> values, unsigned k) {
+  const std::size_t n = values.size();
+  PlaneBits out(plane_bytes(n), 0);
+  parallel_for(0, tile_count(n), [&](std::size_t t) {
+    const std::size_t lo = t * kTileValues;
+    const std::size_t cnt = std::min(kTileValues, n - lo);
+    const std::uint64_t w = ops.tile_fwd_one(values.data() + lo, cnt, k);
+    store_word(out.data() + 8 * t, plane_bytes(cnt), w);
+  }, kTileGrain);
+  return out;
+}
+
+PlaneBits extract_plane(std::span<const std::uint32_t> values, unsigned k) {
+  return extract_plane(transpose_ops(), values, k);
+}
+
+std::array<PlaneBits, kPlaneCount> extract_all_planes(
+    const TransposeOps& ops, std::span<const std::uint32_t> values) {
+  const std::size_t n = values.size();
+  const std::size_t nbytes = plane_bytes(n);
+  std::array<PlaneBits, kPlaneCount> planes;
+  for (auto& p : planes) p.assign(nbytes, 0);
+
+  parallel_for(0, tile_count(n), [&](std::size_t t) {
+    const std::size_t lo = t * kTileValues;
+    const std::size_t cnt = std::min(kTileValues, n - lo);
+    std::uint64_t words[kPlaneCount];
+    std::uint32_t mask = ops.tile_fwd(values.data() + lo, cnt, words);
+    while (mask) {
+      const unsigned k = static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+      store_word(planes[k].data() + 8 * t, plane_bytes(cnt), words[k]);
+    }
+  }, kTileGrain);
+  return planes;
+}
+
+std::array<PlaneBits, kPlaneCount> extract_all_planes(
+    std::span<const std::uint32_t> values) {
+  return extract_all_planes(transpose_ops(), values);
+}
+
+void deposit_plane(const TransposeOps& ops, std::span<std::uint32_t> values,
+                   std::span<const std::uint8_t> plane, unsigned k) {
+  const PlaneSpan one{k, plane};
+  deposit_planes(ops, values, {&one, 1});
+}
+
+void deposit_plane(std::span<std::uint32_t> values,
+                   std::span<const std::uint8_t> plane, unsigned k) {
+  deposit_plane(transpose_ops(), values, plane, k);
+}
+
+void deposit_planes(const TransposeOps& ops, std::span<std::uint32_t> values,
+                    std::span<const PlaneSpan> planes) {
+  if (planes.size() > kPlaneCount) {
+    throw std::invalid_argument("deposit_planes: more planes than bits");
+  }
+  for (const PlaneSpan& p : planes) {
+    if (p.k >= kPlaneCount) {
+      throw std::invalid_argument("deposit_planes: plane index out of range");
+    }
+  }
+  const std::size_t n = values.size();
+  parallel_for(0, tile_count(n), [&](std::size_t t) {
+    const std::size_t lo = t * kTileValues;
+    const std::size_t cnt = std::min(kTileValues, n - lo);
+    std::uint64_t words[kPlaneCount];
+    unsigned ks[kPlaneCount];
+    std::size_t nk = 0;
+    for (const PlaneSpan& p : planes) {
+      // A plane may legally cover fewer values (trailing bytes absent =
+      // zero); clamp the word load to what it stores.
+      if (8 * t >= p.bits.size()) continue;
+      const std::size_t avail = std::min<std::size_t>(
+          plane_bytes(cnt), p.bits.size() - 8 * t);
+      const std::uint64_t w = load_word(p.bits.data() + 8 * t, avail);
+      if (w == 0) continue;  // zero-word skip: nothing to OR in this tile
+      words[nk] = w;
+      ks[nk] = p.k;
+      ++nk;
+    }
+    if (nk) ops.tile_deposit(values.data() + lo, cnt, words, ks, nk);
+  }, kTileGrain);
+}
+
+void deposit_planes(std::span<std::uint32_t> values,
+                    std::span<const PlaneSpan> planes) {
+  deposit_planes(transpose_ops(), values, planes);
+}
 
 std::array<std::int64_t, kPlaneCount + 1> truncation_loss_table(
     std::span<const std::uint32_t> values) {
   // Per-chunk partial tables merged by max (the per-depth maximum commutes
   // with partitioning the value set).
-  constexpr std::size_t kChunk = 1 << 16;
-  const std::size_t n_chunks = (values.size() + kChunk - 1) / kChunk;
+  const std::size_t n_chunks = (values.size() + kLossChunk - 1) / kLossChunk;
   if (n_chunks <= 1) {
     std::array<std::int64_t, kPlaneCount + 1> table{};
     accumulate_loss(values, table);
@@ -100,16 +186,81 @@ std::array<std::int64_t, kPlaneCount + 1> truncation_loss_table(
   }
   std::vector<std::array<std::int64_t, kPlaneCount + 1>> partial(
       n_chunks, std::array<std::int64_t, kPlaneCount + 1>{});
-  parallel_for(0, n_chunks, [&](std::size_t c) {
-    const std::size_t begin = c * kChunk;
-    const std::size_t len = std::min(kChunk, values.size() - begin);
-    accumulate_loss(values.subspan(begin, len), partial[c]);
-  }, /*grain=*/1);
+  parallel_chunks(0, values.size(), kLossChunk, [&](std::size_t lo,
+                                                    std::size_t hi) {
+    accumulate_loss(values.subspan(lo, hi - lo), partial[lo / kLossChunk]);
+  });
   std::array<std::int64_t, kPlaneCount + 1> table{};
   for (const auto& p : partial) {
     for (unsigned d = 0; d <= kPlaneCount; ++d) table[d] = std::max(table[d], p[d]);
   }
   return table;
+}
+
+LevelEncoding encode_level(const TransposeOps& ops,
+                           std::span<const std::uint32_t> codes,
+                           bool with_loss) {
+  LevelEncoding enc;
+  const std::size_t n = codes.size();
+  const std::size_t nbytes = plane_bytes(n);
+  std::vector<PlaneBits> planes(kPlaneCount);
+  for (auto& p : planes) p.assign(nbytes, 0);
+
+  // One chunked pass: each chunk transposes its tiles into the plane buffers
+  // (disjoint byte ranges) and, while the codes are still cache-hot, feeds
+  // the same values to the loss accumulator.  Chunk-local OR masks and loss
+  // tables merge by OR/max, so the result is thread-count independent and
+  // bit-identical to the separate plane_count / truncation_loss_table /
+  // extract_all_planes sweeps this replaces.
+  constexpr std::size_t kChunkTiles = kLossChunk / kTileValues;
+  const std::size_t tiles = tile_count(n);
+  const std::size_t n_chunks = (tiles + kChunkTiles - 1) / kChunkTiles;
+  std::vector<std::uint32_t> chunk_or(n_chunks, 0);
+  std::vector<std::array<std::int64_t, kPlaneCount + 1>> chunk_loss(
+      with_loss ? n_chunks : 0);
+  parallel_chunks(0, tiles, kChunkTiles, [&](std::size_t t_lo,
+                                             std::size_t t_hi) {
+    const std::size_t c = t_lo / kChunkTiles;
+    std::uint32_t orall = 0;
+    for (std::size_t t = t_lo; t < t_hi; ++t) {
+      const std::size_t lo = t * kTileValues;
+      const std::size_t cnt = std::min(kTileValues, n - lo);
+      std::uint64_t words[kPlaneCount];
+      std::uint32_t mask = ops.tile_fwd(codes.data() + lo, cnt, words);
+      orall |= mask;
+      while (mask) {
+        const unsigned k = static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
+        store_word(planes[k].data() + 8 * t, plane_bytes(cnt), words[k]);
+      }
+    }
+    chunk_or[c] = orall;
+    if (with_loss) {
+      const std::size_t v_lo = t_lo * kTileValues;
+      const std::size_t v_hi = std::min(n, t_hi * kTileValues);
+      chunk_loss[c] = {};
+      accumulate_loss(codes.subspan(v_lo, v_hi - v_lo), chunk_loss[c]);
+    }
+  });
+
+  std::uint32_t orall = 0;
+  for (std::uint32_t m : chunk_or) orall |= m;
+  enc.n_planes = orall == 0 ? 0 : 32 - static_cast<unsigned>(std::countl_zero(orall));
+  if (with_loss) {
+    for (const auto& t : chunk_loss) {
+      for (unsigned d = 0; d <= kPlaneCount; ++d) {
+        enc.loss[d] = std::max(enc.loss[d], t[d]);
+      }
+    }
+  }
+  planes.resize(enc.n_planes);
+  enc.planes = std::move(planes);
+  return enc;
+}
+
+LevelEncoding encode_level(std::span<const std::uint32_t> codes,
+                           bool with_loss) {
+  return encode_level(transpose_ops(), codes, with_loss);
 }
 
 }  // namespace ipcomp

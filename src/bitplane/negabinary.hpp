@@ -47,20 +47,11 @@ inline std::int64_t negabinary_low_bits_value(std::uint32_t u, unsigned d) {
 
 /// Worst-case |value| representable in the lowest `d` negabinary bits
 /// (paper's closed form: 2/3·2^d − 1/3 for odd d, 2/3·2^d − 2/3 for even d).
+/// Odd d maximizes the positive sum (even positions set), even d the
+/// negative one (odd positions set); both geometric sums collapse to
+/// (2^(d+1) − (d odd ? 1 : 2)) / 3.  `d` must be at most 32.
 inline std::int64_t negabinary_uncertainty(unsigned d) {
-  if (d == 0) return 0;
-  // Max positive: all even-position bits set; max |negative|: odd positions.
-  std::int64_t pos = 0, neg = 0;
-  std::int64_t w = 1;
-  for (unsigned k = 0; k < d; ++k) {
-    if ((k & 1u) == 0) {
-      pos += w;
-    } else {
-      neg += w;
-    }
-    w <<= 1;
-  }
-  return pos > neg ? pos : neg;
+  return ((std::int64_t{1} << (d + 1)) - ((d & 1u) ? 1 : 2)) / 3;
 }
 
 }  // namespace ipcomp

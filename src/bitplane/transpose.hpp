@@ -1,0 +1,51 @@
+// Word-parallel 32x64 bit-matrix transpose kernels.
+//
+// The bitplane stages view a run of 64 quantized (negabinary) uint32 codes as
+// a 64x32 bit matrix; transposing it yields one uint64 *plane word* per bit
+// position k whose bit j is bit k of code j.  Because packed plane buffers
+// store bit j of value j at byte j/8, bit j%8, a plane word is exactly the
+// little-endian 8-byte run of that plane's buffer — extraction writes whole
+// words and deposit reads whole words, 64 values at a time, instead of
+// shifting one bit per value.
+//
+// Three kernel tiers share this contract (scalar / SSE2 / AVX2); the ambient
+// set is picked once per process by simd_level() (util/cpu.hpp, overridable
+// via IPCOMP_SIMD).  Tests and benchmarks grab a specific tier through
+// transpose_ops(level) to prove the tiers bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu.hpp"
+
+namespace ipcomp {
+
+/// Values per transpose tile: one plane word's worth.
+inline constexpr std::size_t kTileValues = 64;
+
+struct TransposeOps {
+  /// Transpose up to kTileValues values into per-plane words and return the
+  /// OR of the values.  After the call, words[k] is valid for every k set in
+  /// the returned mask; words for clear bits are NOT written (those planes
+  /// are all-zero in this tile).  n <= kTileValues; partial tiles (n <
+  /// kTileValues) take the scalar path inside every tier.
+  std::uint32_t (*tile_fwd)(const std::uint32_t* v, std::size_t n,
+                            std::uint64_t* words);
+  /// One plane's word: bit j = bit k of v[j].
+  std::uint64_t (*tile_fwd_one)(const std::uint32_t* v, std::size_t n,
+                                unsigned k);
+  /// OR nk plane words into values: bit j of words[t] sets bit ks[t] of v[j].
+  void (*tile_deposit)(std::uint32_t* v, std::size_t n,
+                       const std::uint64_t* words, const unsigned* ks,
+                       std::size_t nk);
+};
+
+/// Kernel set for an explicit tier, clamped to what this build supports
+/// (non-x86 builds only ship scalar).
+const TransposeOps& transpose_ops(SimdLevel level);
+
+/// Ambient dispatched kernel set (simd_level()).
+const TransposeOps& transpose_ops();
+
+}  // namespace ipcomp

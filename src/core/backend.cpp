@@ -1,6 +1,5 @@
 #include "core/backend.hpp"
 
-#include <bit>
 #include <stdexcept>
 
 #include "bitplane/bitplane.hpp"
@@ -78,22 +77,17 @@ Bytes serialize_base_segment(const LevelScratch& ls, bool progressive,
   return w.take();
 }
 
-unsigned plane_count(const std::vector<std::uint32_t>& codes) {
-  std::uint32_t all = 0;
-  for (std::uint32_t c : codes) all |= c;
-  return all == 0 ? 0 : 32 - std::countl_zero(all);
-}
-
 void append_plane_segments(const std::vector<std::uint32_t>& codes,
-                           unsigned n_planes, std::uint16_t level_tag,
-                           std::uint32_t block, const Options& opt,
+                           std::vector<PlaneBits>&& planes,
+                           std::uint16_t level_tag, std::uint32_t block,
+                           const Options& opt,
                            std::vector<std::pair<SegmentId, Bytes>>& out) {
+  const unsigned n_planes = static_cast<unsigned>(planes.size());
   if (n_planes == 0) return;
-  auto planes = extract_all_planes(codes);
   std::vector<Bytes> packed(n_planes);
   parallel_for(0, n_planes, [&](std::size_t k) {
     Bytes encoded = opt.prefix_bits == 0
-                        ? planes[k]
+                        ? std::move(planes[k])
                         : predictive_encode_plane(codes, planes[k],
                                                   static_cast<unsigned>(k),
                                                   opt.prefix_bits);

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "bitplane/bitplane.hpp"
 #include "core/header.hpp"
 #include "core/options.hpp"
 #include "io/archive.hpp"
@@ -155,15 +156,14 @@ const ProgressiveBackend* backend_by_name(const std::string& name);
 Bytes serialize_base_segment(const LevelScratch& ls, bool progressive,
                              bool try_lzh);
 
-/// Number of bitplanes needed for the codes (0 when all codes are zero).
-unsigned plane_count(const std::vector<std::uint32_t>& codes);
-
-/// Bitplane-split a progressive level's codes into per-plane segments
-/// (predictive XOR + codec, planes packed independently and concurrently)
-/// and append them to `out` in table order k = 0 .. n_planes-1.
+/// Pack a progressive level's pre-split planes (from encode_level's fused
+/// pass) into per-plane segments — predictive XOR against `codes` + codec,
+/// planes packed independently and concurrently — appended to `out` in
+/// table order k = 0 .. planes.size()-1.
 void append_plane_segments(const std::vector<std::uint32_t>& codes,
-                           unsigned n_planes, std::uint16_t level_tag,
-                           std::uint32_t block, const Options& opt,
+                           std::vector<PlaneBits>&& planes,
+                           std::uint16_t level_tag, std::uint32_t block,
+                           const Options& opt,
                            std::vector<std::pair<SegmentId, Bytes>>& out);
 
 }  // namespace ipcomp

@@ -81,21 +81,21 @@ BlockCompressResult compress_impl(const T* original, T* work,
       continue;
     }
 
-    const unsigned n_planes = plane_count(scratch.codes);
-    lh.n_planes = n_planes;
-
-    auto loss = truncation_loss_table(scratch.codes);
-    lh.loss.resize(n_planes + 1);
-    for (unsigned d = 0; d <= n_planes; ++d) {
-      lh.loss[d] = static_cast<std::uint64_t>(loss[d]);
+    // Fused pass: plane count, exact truncation-loss table and the plane
+    // split all come out of one tiled sweep over the codes.
+    LevelEncoding enc = encode_level(scratch.codes, /*with_loss=*/true);
+    lh.n_planes = enc.n_planes;
+    lh.loss.resize(enc.n_planes + 1);
+    for (unsigned d = 0; d <= enc.n_planes; ++d) {
+      lh.loss[d] = static_cast<std::uint64_t>(enc.loss[d]);
     }
 
     out.segments.emplace_back(
         SegmentId{kSegBase, level_tag, 0, block},
         serialize_base_segment(scratch, true, opt.try_lzh));
 
-    append_plane_segments(scratch.codes, n_planes, level_tag, block, opt,
-                          out.segments);
+    append_plane_segments(scratch.codes, std::move(enc.planes), level_tag,
+                          block, opt, out.segments);
   }
   return out;
 }

@@ -219,20 +219,47 @@ void ProgressiveReader<T>::decode_and_reconstruct(std::size_t b,
     delta.resize(levels.size());
   }
 
+  // All newly fetched planes of a level go through one batch: decompress,
+  // predictive-decode MSB-first on the packed buffers, then a single
+  // multi-plane transpose deposit into the codes (and delta) instead of one
+  // full pass per plane.  Only the compressed segments are grouped up front;
+  // decoded plane buffers live one level at a time.
+  std::vector<std::vector<std::pair<unsigned, Bytes>>> by_level(levels.size());
   for (auto& [li, k, seg] : fetched.planes) {
+    by_level[li].emplace_back(k, std::move(seg));
+  }
+  for (unsigned li = 0; li < levels.size(); ++li) {
+    auto& newp = by_level[li];
+    if (newp.empty()) continue;
     const LevelHeader& lh = levels[li];
-    Bytes encoded = codec_decompress({seg.data(), seg.size()},
-                                     plane_bytes(lh.count));
-    Bytes plane = header_.prefix_bits == 0
-                      ? std::move(encoded)
-                      : predictive_encode_plane(bs.bc.codes[li], encoded, k,
-                                                header_.prefix_bits);
-    deposit_plane(bs.bc.codes[li], plane, k);
-    if (!delta.empty()) {
-      if (delta[li].empty()) delta[li].assign(lh.count, 0);
-      deposit_plane(delta[li], plane, k);
+    // Plans emit planes MSB-first; sort defensively so decode order (which
+    // predictive decoding relies on) never depends on fetch-list layout.
+    std::sort(newp.begin(), newp.end(),
+              [](const auto& a, const auto& b2) { return a.first > b2.first; });
+    for (auto& [k, seg] : newp) {
+      seg = codec_decompress({seg.data(), seg.size()}, plane_bytes(lh.count));
     }
-    bs.planes_used[li] = lh.n_planes - k;
+    if (header_.prefix_bits != 0) {
+      std::vector<MutablePlane> mut(newp.size());
+      for (std::size_t i = 0; i < newp.size(); ++i) {
+        mut[i] = {newp[i].first, {newp[i].second.data(), newp[i].second.size()}};
+      }
+      predictive_decode_planes(bs.bc.codes[li], mut, header_.prefix_bits);
+    }
+    std::vector<PlaneSpan> spans(newp.size());
+    for (std::size_t i = 0; i < newp.size(); ++i) {
+      spans[i] = {newp[i].first, {newp[i].second.data(), newp[i].second.size()}};
+    }
+    deposit_planes(bs.bc.codes[li], spans);
+    if (!delta.empty()) {
+      delta[li].assign(lh.count, 0);
+      deposit_planes(delta[li], spans);
+    }
+    bs.planes_used[li] =
+        std::max(bs.planes_used[li], lh.n_planes - newp.back().first);
+    // Release this level's decoded plane buffers before the next level's
+    // are inflated: transient memory stays one level deep.
+    std::vector<std::pair<unsigned, Bytes>>().swap(newp);
   }
 
   if (!bs.have_recon) {

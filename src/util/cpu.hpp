@@ -1,0 +1,63 @@
+// Runtime SIMD capability selection.
+//
+// The bitplane transpose engine ships scalar, SSE2 and AVX2 kernels in one
+// binary and picks the widest one the executing CPU supports, so release
+// builds stay portable (no -march flags; the wide kernels are compiled with
+// per-function target attributes and only ever called after detection).
+//
+// The environment variable IPCOMP_SIMD=scalar|sse2|avx2 caps the dispatched
+// level — forcing `scalar` keeps the fallback path exercised in CI, and the
+// cap never exceeds what the hardware supports, so an avx2 request on an
+// SSE2-only machine degrades instead of faulting.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ipcomp {
+
+enum class SimdLevel : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+inline const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+/// Parse a level name ("scalar", "sse2", "avx2"); false on anything else.
+inline bool parse_simd_level(const char* name, SimdLevel& out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) { out = SimdLevel::kScalar; return true; }
+  if (std::strcmp(name, "sse2") == 0) { out = SimdLevel::kSse2; return true; }
+  if (std::strcmp(name, "avx2") == 0) { out = SimdLevel::kAvx2; return true; }
+  return false;
+}
+
+/// Widest level the executing CPU supports (scalar on non-x86 builds).
+inline SimdLevel detected_simd_level() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+/// Dispatched level: min(hardware, IPCOMP_SIMD override), resolved once.
+/// An unset, empty or unparseable IPCOMP_SIMD means no override.
+inline SimdLevel simd_level() {
+  static const SimdLevel cached = [] {
+    const SimdLevel hw = detected_simd_level();
+    const char* env = std::getenv("IPCOMP_SIMD");
+    SimdLevel want;
+    if (env != nullptr && *env != '\0' && parse_simd_level(env, want)) {
+      return want < hw ? want : hw;
+    }
+    return hw;
+  }();
+  return cached;
+}
+
+}  // namespace ipcomp

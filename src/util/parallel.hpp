@@ -58,6 +58,23 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
   for (std::size_t i = begin; i < end; ++i) fn(i);
 }
 
+/// Chunked parallel loop: fn(lo, hi) over the fixed ranges
+/// [begin + c*chunk, begin + (c+1)*chunk) ∩ [begin, end).  Chunk boundaries
+/// never depend on the thread count, so chunk-local reductions (OR masks,
+/// per-depth maxima) merge into thread-count-independent results.  The
+/// word-parallel bitplane engine runs its tile passes through this: one
+/// chunk is enough work to amortize a fork, so the per-chunk grain is 1.
+template <typename Fn>
+void parallel_chunks(std::size_t begin, std::size_t end, std::size_t chunk,
+                     Fn&& fn) {
+  if (end <= begin) return;
+  const std::size_t n_chunks = (end - begin + chunk - 1) / chunk;
+  parallel_for(0, n_chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * chunk;
+    fn(lo, lo + chunk < end ? lo + chunk : end);
+  }, /*grain=*/1);
+}
+
 /// parallel_for for bodies that may throw (e.g. decoding untrusted input):
 /// exceptions must not escape an OpenMP region, so the first one thrown is
 /// captured and rethrown on the calling thread after the loop completes.

@@ -329,15 +329,19 @@ BlockCompressResult compress_impl(const T* original, const Dims& bd,
       continue;
     }
 
-    const unsigned n_planes = plane_count(scratch.codes);
-    lh.n_planes = n_planes;
-    lh.loss = measure_loss_table(scratch.codes, n_planes, bd, plan, li, step, eb);
+    // One fused sweep yields plane count + plane split; the loss table is
+    // NOT the negabinary one — it stays the exact measured table (inverse
+    // transforms of the dropped bits), so with_loss is off.
+    LevelEncoding enc = encode_level(scratch.codes, /*with_loss=*/false);
+    lh.n_planes = enc.n_planes;
+    lh.loss =
+        measure_loss_table(scratch.codes, enc.n_planes, bd, plan, li, step, eb);
 
     out.segments.emplace_back(
         SegmentId{kSegBase, level_tag, 0, block},
         serialize_base_segment(scratch, true, opt.try_lzh));
-    append_plane_segments(scratch.codes, n_planes, level_tag, block, opt,
-                          out.segments);
+    append_plane_segments(scratch.codes, std::move(enc.planes), level_tag,
+                          block, opt, out.segments);
   }
   return out;
 }

@@ -1,0 +1,193 @@
+// End-to-end byte-identity goldens for the bitplane engine refactor.
+//
+// Archives (header + every segment, including the serialized per-level loss
+// tables) and progressively reconstructed fields are hashed and compared to
+// constants captured from the pre-refactor scalar pipeline.  Any change to
+// quantization, negabinary coding, loss accounting, plane extraction or
+// deposit order shows up here as a hash mismatch, so the word-parallel
+// engine is pinned to be a pure speedup.
+//
+// The synthetic fields use only exact integer arithmetic and single-rounded
+// double products (no libm transcendentals), so the inputs are bit-identical
+// on every platform.  Set IPCOMP_GOLDEN_PRINT=1 to print the current hashes
+// instead of asserting (used to regenerate the table when a format change is
+// intentional).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "core/compressor.hpp"
+#include "core/progressive_reader.hpp"
+#include "util/ndarray.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t hash_values(const std::vector<T>& v) {
+  return fnv1a(v.data(), v.size() * sizeof(T));
+}
+
+/// Smooth quadratic + seeded noise, built from exact integer arithmetic and
+/// one rounding per element: reproducible bit-for-bit across platforms.
+template <typename T>
+NdArray<T> golden_field(const Dims& dims, std::uint64_t seed) {
+  NdArray<T> out(dims);
+  Rng rng(seed);
+  const auto strides = dims.strides();
+  for (std::size_t i = 0; i < dims.count(); ++i) {
+    std::int64_t q = 0;
+    std::size_t rem = i;
+    for (std::size_t d = 0; d < dims.rank(); ++d) {
+      const auto c = static_cast<std::int64_t>(rem / strides[d]);
+      rem %= strides[d];
+      q += (d == 0) ? c * c : (d == 1 ? 3 * c : -2 * c);
+    }
+    const double noise =
+        static_cast<double>(static_cast<std::int64_t>(rng.next_u64() >> 40)) *
+        0x1.0p-24;  // exact: 24-bit integer scaled by a power of two
+    out[i] = static_cast<T>(static_cast<double>(q) * 0.01 + noise);
+  }
+  return out;
+}
+
+struct GoldenHashes {
+  std::uint64_t archive;
+  std::uint64_t coarse;  // after request_error_bound(1e3 * eb)
+  std::uint64_t mid;     // after request_error_bound(8 * eb)
+  std::uint64_t full;    // after request_full()
+};
+
+template <typename T>
+GoldenHashes run_case(const Dims& dims, BackendId be, std::size_t block_side,
+                      std::size_t threshold, std::uint64_t seed) {
+  auto field = golden_field<T>(dims, seed);
+  Options opt;
+  opt.backend = be;
+  opt.block_side = block_side;
+  opt.progressive_threshold = threshold;
+  opt.error_bound = 1e-4;
+  Bytes archive = compress(field.const_view(), opt);
+
+  GoldenHashes g{};
+  g.archive = fnv1a(archive.data(), archive.size());
+  MemorySource src{Bytes(archive)};
+  ProgressiveReader<T> reader(src);
+  const double eb = reader.compression_eb();
+  reader.request_error_bound(1e3 * eb);
+  g.coarse = hash_values(reader.data());
+  reader.request_error_bound(8 * eb);
+  g.mid = hash_values(reader.data());
+  reader.request_full();
+  g.full = hash_values(reader.data());
+  return g;
+}
+
+bool print_mode() { return std::getenv("IPCOMP_GOLDEN_PRINT") != nullptr; }
+
+void check(const char* name, const GoldenHashes& got, const GoldenHashes& want) {
+  if (print_mode()) {
+    std::printf("  // %s\n  {0x%016llxull, 0x%016llxull, 0x%016llxull, "
+                "0x%016llxull},\n",
+                name, static_cast<unsigned long long>(got.archive),
+                static_cast<unsigned long long>(got.coarse),
+                static_cast<unsigned long long>(got.mid),
+                static_cast<unsigned long long>(got.full));
+    return;
+  }
+  EXPECT_EQ(got.archive, want.archive) << name << ": archive bytes changed";
+  EXPECT_EQ(got.coarse, want.coarse) << name << ": coarse reconstruction changed";
+  EXPECT_EQ(got.mid, want.mid) << name << ": mid reconstruction changed";
+  EXPECT_EQ(got.full, want.full) << name << ": full reconstruction changed";
+}
+
+// Hashes captured from the pre-refactor (PR 4) scalar bitplane pipeline.
+// Regenerate with IPCOMP_GOLDEN_PRINT=1 only for an intentional format change.
+constexpr GoldenHashes kInterpV1{0xa13f829c7531238bull, 0x943ee1de74eef67aull,
+                                 0x24ce5fd5878279efull, 0x24ce5fd5878279efull};
+constexpr GoldenHashes kInterpV2{0x4d12bf6580816645ull, 0x9e57fc302de37467ull,
+                                 0x1c2abe8c7bff1e20ull, 0x1c2abe8c7bff1e20ull};
+constexpr GoldenHashes kInterpV2F32{0x9db679dd49fd7763ull, 0x6a4eea016481fbf2ull,
+                                    0x6a4eea016481fbf2ull, 0x6a4eea016481fbf2ull};
+constexpr GoldenHashes kWaveletV3Whole{0xc08c501fb2ebe313ull,
+                                       0x9e78d17f1b6f75b7ull,
+                                       0x2de0de32b398dc3aull,
+                                       0xa94e768995894462ull};
+constexpr GoldenHashes kWaveletV3Block{0x2a677ed253ba40dbull,
+                                       0x02a7a1a2499a3390ull,
+                                       0x95d956859728dfd5ull,
+                                       0x8926ba20565e533aull};
+
+TEST(Golden, InterpV1Whole) {
+  check("interp v1 whole-field 40^3 f64",
+        run_case<double>(Dims{40, 40, 40}, BackendId::kInterp, 0, 4096, 11),
+        kInterpV1);
+}
+
+TEST(Golden, InterpV2Block) {
+  check("interp v2 block16 40^3 f64",
+        run_case<double>(Dims{40, 40, 40}, BackendId::kInterp, 16, 256, 12),
+        kInterpV2);
+}
+
+TEST(Golden, InterpV2BlockF32) {
+  check("interp v2 block16 64x48 f32",
+        run_case<float>(Dims{64, 48}, BackendId::kInterp, 16, 256, 13),
+        kInterpV2F32);
+}
+
+TEST(Golden, WaveletV3Whole) {
+  check("wavelet v3 whole-field 24^3 f64",
+        run_case<double>(Dims{24, 24, 24}, BackendId::kWavelet, 0, 256, 14),
+        kWaveletV3Whole);
+}
+
+TEST(Golden, WaveletV3Block) {
+  check("wavelet v3 block16 24^3 f64",
+        run_case<double>(Dims{24, 24, 24}, BackendId::kWavelet, 16, 256, 15),
+        kWaveletV3Block);
+}
+
+// Region retrieval drives the per-block multi-plane deposit path with
+// interleaved base/plane fetches; pin its output too.
+TEST(Golden, InterpV2Region) {
+  auto field = golden_field<double>(Dims{40, 40, 40}, 16);
+  Options opt;
+  opt.block_side = 16;
+  opt.progressive_threshold = 256;
+  opt.error_bound = 1e-4;
+  Bytes archive = compress(field.const_view(), opt);
+  MemorySource src{Bytes(archive)};
+  ProgressiveReader<double> reader(src);
+  const double eb = reader.compression_eb();
+  std::array<std::size_t, kMaxRank> lo{}, hi{};
+  for (int i = 0; i < 3; ++i) hi[i] = 20;
+  reader.execute(reader.plan(Request::error_bound(16 * eb).within(lo, hi)));
+  const std::uint64_t h_region = hash_values(reader.data());
+  reader.request_full();
+  const std::uint64_t h_full = hash_values(reader.data());
+  if (print_mode()) {
+    std::printf("  // region: {region, full}\n  {0x%016llxull, 0x%016llxull},\n",
+                static_cast<unsigned long long>(h_region),
+                static_cast<unsigned long long>(h_full));
+    return;
+  }
+  EXPECT_EQ(h_region, 0x8e3910b7264a48eaull) << "region reconstruction changed";
+  EXPECT_EQ(h_full, 0x2ae74f8883dd3250ull)
+      << "full-after-region reconstruction changed";
+}
+
+}  // namespace
+}  // namespace ipcomp

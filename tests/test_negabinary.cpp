@@ -125,6 +125,20 @@ TEST(Negabinary, UncertaintyMatchesExhaustiveLowPlaneSearch) {
   }
 }
 
+TEST(Negabinary, UncertaintyClosedFormEqualsAccumulationLoop) {
+  // The closed form replaced an O(d) accumulation (max positive sum = even
+  // positions set, max |negative| = odd positions); keep the loop here as the
+  // reference and check every depth the 32-bit coder can ask for.
+  for (unsigned d = 0; d <= 32; ++d) {
+    std::int64_t pos = 0, neg = 0, w = 1;
+    for (unsigned k = 0; k < d; ++k) {
+      ((k & 1u) == 0 ? pos : neg) += w;
+      w <<= 1;
+    }
+    EXPECT_EQ(negabinary_uncertainty(d), std::max(pos, neg)) << "d=" << d;
+  }
+}
+
 TEST(Negabinary, UncertaintySmallerThanSignMagnitude) {
   // Paper §4.4.2: negabinary truncation uncertainty ≈ 2/3 of sign-magnitude's.
   for (unsigned d = 2; d <= 30; ++d) {
