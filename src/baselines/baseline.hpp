@@ -17,6 +17,11 @@
 
 namespace ipcomp {
 
+/// Thread contract: externally-synchronized.  The interface takes non-const
+/// `this` on every operation because several implementations keep scratch or
+/// adapter state between calls; benchmarks construct one instance per worker.
+/// (The ipcomp library proper is stricter — see core/compressor.hpp and
+/// core/progressive_reader.hpp.)
 class Compressor {
  public:
   virtual ~Compressor() = default;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "coding/huffman.hpp"
@@ -10,6 +9,7 @@
 #include "interp/sweep.hpp"
 #include "io/bitstream.hpp"
 #include "quant/quantizer.hpp"
+#include "util/sync.hpp"
 
 namespace ipcomp {
 
@@ -38,7 +38,7 @@ Bytes Sz3Compressor::compress(NdConstView<double> data, double eb_abs) {
 
   std::vector<std::uint32_t> symbols(dims.count(), 0);
   std::vector<std::pair<std::size_t, double>> outliers;
-  std::mutex outlier_mutex;
+  Mutex outlier_mutex;
 
   std::vector<double> xhat(data.span().begin(), data.span().end());
   const double* original = data.data();
@@ -53,7 +53,7 @@ Bytes Sz3Compressor::compress(NdConstView<double> data, double eb_abs) {
                           symbols[g] = static_cast<std::uint32_t>(code + radius);
                           return recon;
                         }
-                        std::lock_guard<std::mutex> lock(outlier_mutex);
+                        LockGuard lock(outlier_mutex);
                         outliers.emplace_back(g, original[idx]);
                         symbols[g] = 0;  // reserved outlier symbol
                         return original[idx];

@@ -22,6 +22,12 @@ const char* to_string(BackendId id) {
 namespace {
 
 /// The registry: one stateless singleton per backend, indexed by id.
+///
+/// Thread contract: internally-synchronized.  The singletons are const,
+/// hold no mutable state, and are constructed under C++ magic-static
+/// initialization, so concurrent first-touch from any number of threads —
+/// including N compressions racing through backend_for() on process start —
+/// is safe (tests/test_concurrency.cpp stresses exactly this under TSan).
 const ProgressiveBackend* registry_lookup(std::uint8_t id) {
   static const InterpBackend interp;
   static const WaveletBackend wavelet;

@@ -72,6 +72,11 @@ inline bool block_outlier(const BlockCodes& bc, unsigned li, std::size_t slot,
   return true;
 }
 
+/// Thread contract: const-safe and stateless.  Implementations hold no
+/// mutable members, so one registered instance serves every thread; the
+/// compress/reconstruct/refine hooks run concurrently across blocks and
+/// across independent compressions, and must stay reentrant (block-local
+/// scratch only — see compress_block).
 class ProgressiveBackend {
  public:
   virtual ~ProgressiveBackend() = default;
@@ -143,9 +148,12 @@ class ProgressiveBackend {
 };
 
 /// Registry lookup; throws std::runtime_error for an unregistered id.
+/// Internally-synchronized: safe from any thread, including concurrent
+/// first-touch (the registry is built under magic-static initialization).
 const ProgressiveBackend& backend_for(BackendId id);
 
-/// Name lookup ("interp", "wavelet"); nullptr when unknown.
+/// Name lookup ("interp", "wavelet"); nullptr when unknown.  Same thread
+/// contract as backend_for.
 const ProgressiveBackend* backend_by_name(const std::string& name);
 
 // ---- helpers shared by backend implementations --------------------------

@@ -15,6 +15,14 @@
 namespace ipcomp {
 
 /// Compress a field into a serialized progressive archive.
+///
+/// Thread contract: internally-synchronized — safe to call concurrently from
+/// any number of threads over distinct (or even shared, read-only) inputs.
+/// All state is on the stack or owned by the call; the only shared structures
+/// touched are the backend registry (magic statics) and the SIMD dispatch
+/// level, both internally-synchronized.  Raced against itself by
+/// tests/test_concurrency.cpp under TSan, with byte-identical output checked
+/// against a serial run.
 template <typename T>
 Bytes compress(NdConstView<T> input, const Options& opt = {});
 

@@ -1,7 +1,6 @@
 #include "core/interp_backend.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "bitplane/bitplane.hpp"
 #include "bitplane/negabinary.hpp"
@@ -9,6 +8,7 @@
 #include "interp/sweep.hpp"
 #include "quant/quantizer.hpp"
 #include "util/parallel.hpp"
+#include "util/sync.hpp"
 
 namespace ipcomp {
 
@@ -37,7 +37,7 @@ BlockCompressResult compress_impl(const T* original, T* work,
   // Outlier lists are per block; the mutex only matters in whole-field mode,
   // where the sweep's line loop is the parallel one.  In block mode the
   // nested-parallelism guard keeps this sweep serial and the lock free.
-  std::mutex outlier_mutex;
+  Mutex outlier_mutex;
 
   // In-loop quantization: the working buffer holds reconstructed values so
   // predictions see exactly what decompression will see.
@@ -51,7 +51,7 @@ BlockCompressResult compress_impl(const T* original, T* work,
           return recon;
         }
         {
-          std::lock_guard<std::mutex> lock(outlier_mutex);
+          LockGuard lock(outlier_mutex);
           levels[li].outliers.emplace_back(slot,
                                            static_cast<double>(original[idx]));
         }

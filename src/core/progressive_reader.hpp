@@ -73,6 +73,18 @@ struct RetrievalStats {
   double bitrate = 0.0;
 };
 
+/// Thread contract: externally-synchronized, with const-safe planning.
+/// A reader is the single-owner retrieval state for one archive: execute()
+/// and the request_* wrappers advance the resident plane set, the epoch
+/// serial, and the reconstruction, and must be serialized by the caller.
+/// plan() and every other const member are *pure* reads of that state —
+/// concurrent plan() calls on one reader (admission control probing many
+/// requests at once) are safe, return identical plans for identical
+/// requests, and never touch the SegmentSource payload path
+/// (tests/test_concurrency.cpp pins this under TSan).  Scaling to many
+/// concurrent clients means one reader per client over per-client sources of
+/// one shared archive — the multi-tenant server layer (ROADMAP item 1) will
+/// add the shared-cache tier on top of this contract.
 template <typename T>
 class ProgressiveReader {
  public:
@@ -193,6 +205,12 @@ class ProgressiveReader {
   /// Append block `b`'s base (+aux) segments when not yet resident.
   void plan_block_base(std::size_t b, std::vector<SegmentId>& out) const;
 
+  // ---- retrieval state --------------------------------------------------
+  // Everything below `src_`/`cfg_` is the externally-synchronized mutable
+  // state of the class contract above: written only by the constructor and
+  // execute() (via decode_base / decode_and_reconstruct), read by plan()
+  // and the const accessors.  No member function writes any of it from a
+  // const path — that is what keeps concurrent plan() calls pure.
   SegmentSource& src_;
   ReaderConfig cfg_;
   const ProgressiveBackend* backend_ = nullptr;

@@ -4,12 +4,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "data/noise.hpp"
 #include "io/archive.hpp"
 #include "util/parallel.hpp"
+#include "util/sync.hpp"
 
 namespace ipcomp {
 
@@ -28,7 +28,8 @@ const char* field_name(Field f) {
 }
 
 DataScale scale_from_env() {
-  const char* v = std::getenv("IPCOMP_DATA_SCALE");
+  // -- read-only env probe; nothing in-process calls setenv.
+  const char* v = std::getenv("IPCOMP_DATA_SCALE");  // NOLINT(concurrency-mt-unsafe)
   if (!v) return DataScale::kSmall;
   std::string s(v);
   if (s == "tiny") return DataScale::kTiny;
@@ -268,15 +269,30 @@ NdArray<double> generate_field(Field f, const Dims& dims) {
   throw std::invalid_argument("generate_field: unknown field");
 }
 
-const NdArray<double>& cached_field(Field f, DataScale scale) {
+namespace {
+
+/// Guards the (field, scale) -> generated-field cache below; cached_field is
+/// internally-synchronized, callable from any thread.
+Mutex g_field_cache_mutex;
+std::map<std::pair<int, int>, NdArray<double>>& field_cache()
+    IPCOMP_REQUIRES(g_field_cache_mutex) {
   static std::map<std::pair<int, int>, NdArray<double>> cache;
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
+  return cache;
+}
+
+}  // namespace
+
+const NdArray<double>& cached_field(Field f, DataScale scale)
+    IPCOMP_EXCLUDES(g_field_cache_mutex) {
+  LockGuard lock(g_field_cache_mutex);
+  auto& cache = field_cache();
   auto key = std::make_pair(static_cast<int>(f), static_cast<int>(scale));
   auto it = cache.find(key);
   if (it == cache.end()) {
     it = cache.emplace(key, generate_field(f, dims_for(f, scale))).first;
   }
+  // Safe to hand out past the unlock: std::map never moves stored values and
+  // entries are never erased, so the reference is stable for process life.
   return it->second;
 }
 

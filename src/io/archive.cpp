@@ -9,14 +9,14 @@ namespace ipcomp {
 std::vector<Bytes> SegmentSource::read_many(std::span<const SegmentId> ids) {
   std::vector<Bytes> out;
   out.reserve(ids.size());
-  const std::size_t charged_before = bytes_read_;
+  const std::size_t charged_before = bytes_read();
   try {
     for (const SegmentId& id : ids) out.push_back(read_segment(id));
   } catch (...) {
     // A mid-batch failure delivers nothing, so nothing may stay charged —
     // same all-or-nothing accounting as FileSource::read_many, keeping a
     // retried execute() from double-counting retrieved volume.
-    bytes_read_ = charged_before;
+    uncharge_bytes_to(charged_before);
     throw;
   }
   return out;
@@ -109,8 +109,8 @@ const Bytes& MemorySource::header() {
   }
   if (!header_charged_) {
     // Header + segment table are the fixed cost of opening the archive.
-    bytes_read_ += index_.header_offset + index_.header_length;
-    ++read_calls_;
+    charge_bytes(index_.header_offset + index_.header_length);
+    count_read_call();
     header_charged_ = true;
   }
   return header_cache_;
@@ -119,8 +119,8 @@ const Bytes& MemorySource::header() {
 Bytes MemorySource::read_segment(SegmentId id) {
   auto it = index_.entries.find(id.key(index_.version));
   if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
-  bytes_read_ += it->second.length;
-  ++read_calls_;
+  charge_bytes(it->second.length);
+  count_read_call();
   return Bytes(blob_.begin() + it->second.offset,
                blob_.begin() + it->second.offset + it->second.length);
 }
@@ -174,8 +174,8 @@ FileSource::FileSource(std::string path) : path_(std::move(path)) {
 const Bytes& FileSource::header() {
   if (!header_loaded_) {
     header_cache_ = read_range(index_.header_offset, index_.header_length);
-    bytes_read_ += index_.header_offset + index_.header_length;
-    ++read_calls_;
+    charge_bytes(index_.header_offset + index_.header_length);
+    count_read_call();
     header_loaded_ = true;
   }
   return header_cache_;
@@ -184,8 +184,8 @@ const Bytes& FileSource::header() {
 Bytes FileSource::read_segment(SegmentId id) {
   auto it = index_.entries.find(id.key(index_.version));
   if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
-  bytes_read_ += it->second.length;
-  ++read_calls_;
+  charge_bytes(it->second.length);
+  count_read_call();
   return read_range(it->second.offset, it->second.length);
 }
 
@@ -233,8 +233,8 @@ std::vector<Bytes> FileSource::read_many(std::span<const SegmentId> ids) {
         std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
       throw std::runtime_error("archive: short segment read");
     }
-    ++read_calls_;
-    ++coalesced_ranges_;
+    count_read_call();
+    coalesced_ranges_.fetch_add(1, std::memory_order_relaxed);
     for (; i < j; ++i) {
       const Item& item = items[i];
       out[item.idx].assign(buf.begin() + (item.offset - begin),
@@ -245,7 +245,7 @@ std::vector<Bytes> FileSource::read_many(std::span<const SegmentId> ids) {
   // id, short read) must not inflate bytes_read() with payloads that were
   // never handed out, or the retrieved-volume metric — and the reader's
   // Σ bytes_new == bytes_total invariant across a retried execute() — drifts.
-  for (const Item& item : items) bytes_read_ += item.length;
+  for (const Item& item : items) charge_bytes(item.length);
   return out;
 }
 

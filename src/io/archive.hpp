@@ -18,6 +18,7 @@
 // keyed off the version word.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -69,6 +70,10 @@ struct SegmentId {
 };
 
 /// Builder-side archive: header + segments assembled during compression.
+///
+/// Thread contract: externally-synchronized.  Compression assembles per-block
+/// results concurrently into a pre-sized vector and feeds the builder from
+/// one thread; sharing a builder across threads is the caller's lock.
 class ArchiveBuilder {
  public:
   /// Must be chosen before the first add_segment (keys pack differently).
@@ -102,6 +107,18 @@ class ArchiveBuilder {
 
 /// Read-side interface: fetch the header once, then segments on demand.
 /// Implementations count the bytes they hand out.
+///
+/// Thread contract: externally-synchronized for fetches, const-safe
+/// otherwise.  The parsed index is immutable after construction, so the
+/// const queries (has_segment, segment_size, segment_ids, version,
+/// total_size) are safe from any thread; the fetching calls (header,
+/// read_segment, read_many) mutate cached state and accounting and must be
+/// serialized per source — the intended sharing model is one source per
+/// reader over a shared underlying archive (file or blob).  The stat
+/// counters are internally-synchronized (relaxed atomics) so monitoring
+/// threads may sample bytes_read()/read_calls() while a fetch is in flight
+/// and always observe a well-defined (if momentarily stale) value; the
+/// counters of a *completed* fetch are exact.
 class SegmentSource {
  public:
   virtual ~SegmentSource() = default;
@@ -126,21 +143,37 @@ class SegmentSource {
   virtual std::uint32_t version() const = 0;
 
   /// Bytes of payload + header actually retrieved so far.
-  std::size_t bytes_read() const { return bytes_read_; }
-  void reset_bytes_read() { bytes_read_ = 0; }
+  std::size_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  void reset_bytes_read() { bytes_read_.store(0, std::memory_order_relaxed); }
 
   /// Physical read operations issued so far (header + segment fetches; a
   /// coalesced bulk read counts once per contiguous range).  Benchmarks use
   /// the ratio of segments fetched to read_calls() as the fetch-efficiency
   /// figure.
-  std::size_t read_calls() const { return read_calls_; }
+  std::size_t read_calls() const {
+    return read_calls_.load(std::memory_order_relaxed);
+  }
 
   /// Total serialized archive size (for compression-ratio accounting).
   virtual std::size_t total_size() const = 0;
 
  protected:
-  std::size_t bytes_read_ = 0;
-  std::size_t read_calls_ = 0;
+  /// Stat counters are plain tallies, not synchronization: relaxed atomics
+  /// make concurrent sampling well-defined (no torn reads) without imposing
+  /// ordering the fetch path does not need.
+  void charge_bytes(std::size_t n) {
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void uncharge_bytes_to(std::size_t snapshot) {
+    bytes_read_.store(snapshot, std::memory_order_relaxed);
+  }
+  void count_read_call() { read_calls_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::size_t> bytes_read_{0};
+  std::atomic<std::size_t> read_calls_{0};
 };
 
 /// Adjacent-range coalescing threshold for batched file reads: two segments
@@ -177,6 +210,10 @@ struct ArchiveIndex {
 
 /// SegmentSource over a fully in-memory archive blob.  Only the bytes of the
 /// segments actually requested are charged to bytes_read().
+///
+/// Thread contract: inherits SegmentSource's — externally-synchronized for
+/// fetches (header/read_segment mutate the header cache and accounting),
+/// const queries and stat sampling safe from any thread.
 class MemorySource final : public SegmentSource {
  public:
   explicit MemorySource(Bytes archive);
@@ -201,6 +238,10 @@ class MemorySource final : public SegmentSource {
 /// kCoalesceGapBytes of each other into single bulk reads, slicing each
 /// payload out of the shared buffer — one open + one read per contiguous run
 /// instead of one per segment.
+///
+/// Thread contract: inherits SegmentSource's.  Each fetch opens its own file
+/// handle, so N readers over one archive file each construct their own
+/// FileSource (cheap: one index parse) rather than sharing one instance.
 class FileSource final : public SegmentSource {
  public:
   explicit FileSource(std::string path);
@@ -215,7 +256,11 @@ class FileSource final : public SegmentSource {
   std::size_t total_size() const override { return file_size_; }
 
   /// Coalesced ranges issued by read_many() so far (each is one read call).
-  std::size_t coalesced_ranges() const { return coalesced_ranges_; }
+  /// Same contract as the base stat counters: relaxed atomic, safe to sample
+  /// from a monitoring thread while a fetch is in flight.
+  std::size_t coalesced_ranges() const {
+    return coalesced_ranges_.load(std::memory_order_relaxed);
+  }
 
  private:
   Bytes read_range(std::size_t offset, std::size_t length) const;
@@ -225,7 +270,7 @@ class FileSource final : public SegmentSource {
   ArchiveIndex index_;
   Bytes header_cache_;
   bool header_loaded_ = false;
-  std::size_t coalesced_ranges_ = 0;
+  std::atomic<std::size_t> coalesced_ranges_{0};
 };
 
 /// Write a serialized archive to disk.

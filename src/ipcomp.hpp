@@ -24,6 +24,14 @@
 //       ipcomp::Request::error_bound(1e-3).within({0,0,0}, {64,64,64}));
 //   // plan.segments / plan.bytes_new / plan.guaranteed_error ...
 //   auto stats = reader.execute(plan);
+//
+// Thread safety (taxonomy in util/sync.hpp; per-class contracts on the
+// classes themselves): compress() is safe from any number of threads
+// concurrently.  ProgressiveReader is one-per-client over a per-client
+// SegmentSource — serialize access per reader, except plan(), which is const
+// and pure and may overlap freely.  These contracts are machine-checked by
+// the Clang thread-safety analysis and race-tested under ThreadSanitizer
+// (tests/test_concurrency.cpp; see README "Correctness tooling").
 #pragma once
 
 #include "core/backend.hpp"

@@ -47,10 +47,19 @@ inline SimdLevel detected_simd_level() {
 
 /// Dispatched level: min(hardware, IPCOMP_SIMD override), resolved once.
 /// An unset, empty or unparseable IPCOMP_SIMD means no override.
+///
+/// Thread contract: internally-synchronized.  The cached level is a magic
+/// static, so concurrent first-touch — e.g. N threads entering the bitplane
+/// engine simultaneously on process start — resolves the environment lookup
+/// exactly once and every caller observes the same level for process life
+/// (tests/test_concurrency.cpp races this under TSan).  Mutating IPCOMP_SIMD
+/// after the first call has no effect by design: the dispatch decision must
+/// not change while kernels are in flight.
 inline SimdLevel simd_level() {
   static const SimdLevel cached = [] {
     const SimdLevel hw = detected_simd_level();
-    const char* env = std::getenv("IPCOMP_SIMD");
+    // -- read exactly once (magic static); nothing in-process calls setenv.
+    const char* env = std::getenv("IPCOMP_SIMD");  // NOLINT(concurrency-mt-unsafe)
     SimdLevel want;
     if (env != nullptr && *env != '\0' && parse_simd_level(env, want)) {
       return want < hw ? want : hw;

@@ -7,7 +7,8 @@
 
 #include <cstddef>
 #include <exception>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 #if defined(_OPENMP)
 #include <omp.h>
@@ -82,12 +83,12 @@ template <typename Fn>
 void parallel_for_ex(std::size_t begin, std::size_t end, Fn&& fn,
                      std::size_t grain = 1024) {
   std::exception_ptr eptr = nullptr;
-  std::mutex mutex;
+  Mutex mutex;  // guards eptr across the loop's worker threads
   parallel_for(begin, end, [&](std::size_t i) {
     try {
       fn(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex);
+      LockGuard lock(mutex);
       if (!eptr) eptr = std::current_exception();
     }
   }, grain);

@@ -13,6 +13,10 @@
 namespace ipcomp {
 
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+///
+/// Thread contract: externally-synchronized.  Every draw mutates the state
+/// words, so each thread owns its own Rng (seeded distinctly); concurrent
+/// draws from a shared instance are a race, not just nondeterminism.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {

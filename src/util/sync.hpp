@@ -1,0 +1,121 @@
+// Annotated synchronization primitives: Clang thread-safety analysis.
+//
+// Every lock in this repository goes through the wrappers below so that the
+// locking discipline is machine-checked, not commented.  Under Clang the
+// IPCOMP_* macros expand to the capability attributes of -Wthread-safety
+// (promoted to an error in CMakeLists.txt); under any other compiler they
+// expand to nothing and the wrappers are zero-cost veneers over the standard
+// primitives.  A raw std::mutex / pthread_mutex_t outside this header is a
+// lint error (scripts/check.sh).
+//
+// Thread-contract taxonomy used by class comments across the tree:
+//   * const-safe: concurrent calls to const members are safe; non-const
+//     members need external synchronization (the default for value types).
+//   * externally-synchronized: the caller serializes ALL access (the single-
+//     owner contract; e.g. ProgressiveReader, ArchiveBuilder).
+//   * internally-synchronized: safe to call from any thread without external
+//     locking (e.g. the backend registry, the dataset cache, the SIMD
+//     dispatch singleton, SegmentSource stat counters).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Attribute spellings per the Clang thread-safety-analysis documentation;
+// GCC and MSVC see empty macros and compile the identical code.
+#if defined(__clang__) && !defined(SWIG)
+#define IPCOMP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IPCOMP_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// NOLINTBEGIN(bugprone-macro-parentheses) -- attribute argument tokens
+// cannot be parenthesized; these macros only ever wrap attribute contents.
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define IPCOMP_CAPABILITY(x) IPCOMP_THREAD_ANNOTATION(capability(x))
+/// Marks a RAII type whose lifetime holds a capability.
+#define IPCOMP_SCOPED_CAPABILITY IPCOMP_THREAD_ANNOTATION(scoped_lockable)
+/// Data member / variable readable and writable only with `x` held.
+#define IPCOMP_GUARDED_BY(x) IPCOMP_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer whose *pointee* is protected by `x` (the pointer itself is not).
+#define IPCOMP_PT_GUARDED_BY(x) IPCOMP_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function that may only be called with the listed capabilities held.
+#define IPCOMP_REQUIRES(...) \
+  IPCOMP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IPCOMP_REQUIRES_SHARED(...) \
+  IPCOMP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function that acquires / releases the listed capabilities.
+#define IPCOMP_ACQUIRE(...) \
+  IPCOMP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IPCOMP_RELEASE(...) \
+  IPCOMP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function that must NOT be called with the listed capabilities held
+/// (deadlock prevention for self-locking internally-synchronized APIs).
+#define IPCOMP_EXCLUDES(...) IPCOMP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Returns the capability protecting the returned reference.
+#define IPCOMP_RETURN_CAPABILITY(x) IPCOMP_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: the analysis cannot see through this function.  Every use
+/// carries a justification comment (see the NOLINT policy in README.md).
+#define IPCOMP_NO_THREAD_SAFETY_ANALYSIS \
+  IPCOMP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// NOLINTEND(bugprone-macro-parentheses)
+
+namespace ipcomp {
+
+/// Annotated exclusive mutex.  Prefer LockGuard over manual lock()/unlock().
+class IPCOMP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IPCOMP_ACQUIRE() { m_.lock(); }
+  void unlock() IPCOMP_RELEASE() { m_.unlock(); }
+
+  /// Underlying handle for CondVar::wait; does not transfer the capability.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock for Mutex; holds the capability for its scope.
+class IPCOMP_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) IPCOMP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() IPCOMP_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex.  wait() must be called with the
+/// mutex held (enforced under Clang); the predicate is re-evaluated with the
+/// mutex held, exactly like std::condition_variable::wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred&& pred) IPCOMP_REQUIRES(mu) {
+    // The unique_lock adopts the already-held native mutex for the duration
+    // of the wait; the capability never leaves `mu` from the analysis's view.
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    cv_.wait(lk, static_cast<Pred&&>(pred));
+    lk.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ipcomp

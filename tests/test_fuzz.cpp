@@ -105,6 +105,75 @@ TEST_P(FuzzSeeds, LzhArbitraryBytes) {
   }
 }
 
+// Forged-input corpus: mutated, truncated and garbage archives must be
+// rejected with an exception (or, for benign mutations, decode normally) —
+// never crash, hang or trip a sanitizer.  The tsan CI preset runs this suite
+// too, so the rejection paths are also exercised under ThreadSanitizer.
+class ForgedArchive : public ::testing::TestWithParam<int> {};
+
+// Drives a reader over `bytes` and swallows rejection.  Returns true when
+// the archive was accepted end-to-end (possible for benign mutations, e.g.
+// a flipped bit inside segment payload the request never fetches).
+bool try_read_archive(Bytes bytes) {
+  try {
+    MemorySource src(std::move(bytes));
+    ProgressiveReader<double> reader(src);
+    reader.request_error_bound(reader.header().eb * 16);
+    reader.request_full();
+    return true;
+  } catch (const std::exception&) {
+    // Every rejection path must surface as a std::exception subclass;
+    // anything else (signal, std::terminate, sanitizer report) fails the
+    // test process itself.
+    return false;
+  }
+}
+
+TEST_P(ForgedArchive, MutatedTruncatedAndGarbageInputsNeverCrash) {
+  Rng rng(3000 + GetParam());
+
+  // A small but fully featured donor archive (blocks + progressive planes).
+  Dims dims{12, 10, 8};
+  NdArray<double> field(dims);
+  for (std::size_t i = 0; i < field.count(); ++i) {
+    field[i] = std::sin(0.2 * static_cast<double>(i));
+  }
+  Options opt;
+  opt.error_bound = 1e-5;
+  opt.block_side = 4;
+  opt.backend =
+      GetParam() % 2 == 0 ? BackendId::kInterp : BackendId::kWavelet;
+  const Bytes donor = compress(field.const_view(), opt);
+  ASSERT_TRUE(try_read_archive(donor)) << "donor archive must be valid";
+
+  // Truncations: every prefix length from empty to full-minus-one, sampled.
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t len = rng.uniform_u64(donor.size());
+    try_read_archive(Bytes(donor.begin(), donor.begin() + static_cast<std::ptrdiff_t>(len)));
+  }
+
+  // Byte flips: corrupt 1..8 random bytes anywhere (header, index, payload).
+  for (int trial = 0; trial < 60; ++trial) {
+    Bytes forged = donor;
+    const std::size_t flips = 1 + rng.uniform_u64(8);
+    for (std::size_t i = 0; i < flips; ++i) {
+      forged[rng.uniform_u64(forged.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    }
+    try_read_archive(std::move(forged));
+  }
+
+  // Pure garbage of assorted sizes, including header-sized prefixes that
+  // may contain a forged magic number by chance.
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes garbage(rng.uniform_u64(4096));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
+    try_read_archive(std::move(garbage));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForgedArchive, ::testing::Range(0, 4));
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 6));
 
 }  // namespace
