@@ -31,7 +31,7 @@ int main() {
       ReaderConfig cfg;
       cfg.planner = kind;
       ProgressiveReader<double> reader(src, cfg);
-      auto st = reader.request_error_bound(rel * range);
+      auto st = reader.retrieve(Request::error_bound(rel * range));
       row.push_back(TableReporter::num(st.bitrate, 4));
     }
     ta.row(row);
@@ -47,7 +47,7 @@ int main() {
       ReaderConfig cfg;
       cfg.error_model = model;
       ProgressiveReader<double> reader(src, cfg);
-      auto st = reader.request_error_bound(rel * range);
+      auto st = reader.retrieve(Request::error_bound(rel * range));
       double actual = 0;
       for (std::size_t i = 0; i < n; ++i) {
         actual = std::max(actual, std::abs(data[i] - reader.data()[i]));

@@ -49,10 +49,10 @@ int main() {
                        "curl image", "laplace image"});
   for (double fraction : fractions) {
     const double bits = fraction * 64.0;
-    dr.request_bitrate(bits);
-    xr.request_bitrate(bits);
-    yr.request_bitrate(bits);
-    zr.request_bitrate(bits);
+    dr.retrieve(Request::bitrate(bits));
+    xr.retrieve(Request::bitrate(bits));
+    yr.retrieve(Request::bitrate(bits));
+    zr.retrieve(Request::bitrate(bits));
     auto curl = curl_magnitude({xr.data().data(), dims}, {yr.data().data(), dims},
                                {zr.data().data(), dims});
     auto lap = laplacian(NdConstView<double>(dr.data().data(), dims));

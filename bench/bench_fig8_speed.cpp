@@ -130,9 +130,9 @@ FetchStats fetch_sweep(const Bytes& archive, const char* path) {
       fs.segments += plan.segments.size();
       reader.execute(plan);
     }
-    fs.read_calls = src.read_calls();
-    fs.coalesced_ranges = src.coalesced_ranges();
-    fs.bytes = src.bytes_read();
+    fs.read_calls = src.stats().read_calls;
+    fs.coalesced_ranges = src.stats().coalesced_ranges;
+    fs.bytes = src.stats().bytes_read;
   }
   std::remove(path);
   return fs;
@@ -240,19 +240,19 @@ int block_compare(const char* json_path, int reps) {
   StageResult d_legacy = median_of(reps, raw, [&] {
     MemorySource src{Bytes(archive_legacy)};
     ProgressiveReader<double> reader(src);
-    reader.request_full();
+    reader.retrieve(Request::full());
     sink += reader.data()[0];
   });
   StageResult d_block = median_of(reps, raw, [&] {
     MemorySource src{Bytes(archive_block)};
     ProgressiveReader<double> reader(src);
-    reader.request_full();
+    reader.retrieve(Request::full());
     sink += reader.data()[0];
   });
   StageResult d_wavelet = median_of(reps, raw, [&] {
     MemorySource src{Bytes(archive_wavelet)};
     ProgressiveReader<double> reader(src);
-    reader.request_full();
+    reader.retrieve(Request::full());
     sink += reader.data()[0];
   });
 
@@ -265,7 +265,7 @@ int block_compare(const char* json_path, int reps) {
     MemorySource src{Bytes(archive_wavelet)};
     ProgressiveReader<double> reader(src);
     wavelet_eb = reader.compression_eb();
-    auto st = reader.request_error_bound(1e3 * wavelet_eb);
+    auto st = reader.retrieve(Request::error_bound(1e3 * wavelet_eb));
     wavelet_partial_bytes = st.bytes_total;
     wavelet_partial_guarantee = st.guaranteed_error;
     sink += reader.data()[0];
@@ -275,7 +275,7 @@ int block_compare(const char* json_path, int reps) {
     ProgressiveReader<double> reader(src);
     std::array<std::size_t, kMaxRank> lo{}, hi{};
     for (int i = 0; i < 3; ++i) hi[i] = side / 2;
-    auto st = reader.request_region(lo, hi);
+    auto st = reader.retrieve(Request::full().within(lo, hi));
     wavelet_region_bytes = st.bytes_total;
     sink += reader.data()[0];
   }

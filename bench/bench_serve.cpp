@@ -1,0 +1,226 @@
+// Multi-tenant serving benchmark: N client threads with mixed error-bound /
+// byte-budget / region traffic over ONE archive, served two ways:
+//
+//   shared    — ArchiveSet: every client a Session over one shared handle
+//               (segment LRU cache + pooled, offset-merged I/O);
+//   isolated  — the pre-serve model: every client its own FileSource +
+//               ProgressiveReader, no sharing anywhere.
+//
+// Both modes run the identical request schedule and must produce identical
+// reconstructions; the figure of merit is the physical I/O the shared tier
+// saves (read_calls / bytes fetched) plus request throughput and cache hit
+// rate.  `--json <path>` writes the summary CI merges into BENCH_ci.json and
+// asserts on: throughput_req_s, cache_hit_rate, and read_calls_shared <
+// read_calls_isolated at equal reconstructions.
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ipcomp.hpp"
+
+namespace {
+
+using namespace ipcomp;
+
+struct Traffic {
+  std::vector<Request> steps;
+};
+
+/// Deterministic per-client schedule: coarse eb, a region drill-down, a byte
+/// top-up, then full fidelity — phase-shifted by client id so concurrent
+/// demand overlaps but is not identical.
+Traffic traffic_for(int client, const Dims& dims) {
+  Traffic t;
+  const std::size_t x = dims[0], y = dims[1], z = dims[2];
+  const std::size_t qx = x / 4, qy = y / 4, qz = z / 4;
+  const std::size_t ox = (static_cast<std::size_t>(client) % 4) * qx;
+  const std::size_t oy = (static_cast<std::size_t>(client) / 4 % 4) * qy;
+  t.steps.push_back(Request::error_bound(client % 2 ? 1e-2 : 1e-3));
+  t.steps.push_back(Request::error_bound(1e-5).within(
+      {ox, oy, 0, 0}, {ox + qx, oy + qy, qz, 0}));
+  t.steps.push_back(Request::bytes(30000 + 1000 * static_cast<std::uint64_t>(client)));
+  t.steps.push_back(Request::full());
+  return t;
+}
+
+struct ModeResult {
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  std::size_t read_calls = 0;   // physical, at the storage source
+  std::size_t bytes_read = 0;   // physical, at the storage source
+  std::vector<std::vector<double>> outputs;
+};
+
+ModeResult run_shared(const std::string& path, int clients,
+                      const Dims& dims, std::size_t cache_bytes,
+                      CacheStats& cache_out) {
+  ServeOptions sopts;
+  sopts.cache_capacity_bytes = cache_bytes;
+  sopts.io_threads = 2;
+  ArchiveSet set(sopts);
+  auto handle = set.open_file(path);
+
+  ModeResult r;
+  r.outputs.resize(static_cast<std::size_t>(clients));
+  std::barrier gate(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      gate.arrive_and_wait();
+      Session<double> session(handle);
+      for (const Request& req : traffic_for(c, dims).steps) {
+        session.execute(session.plan(req));
+      }
+      r.outputs[static_cast<std::size_t>(c)] = session.data();
+    });
+  }
+  for (auto& th : threads) th.join();
+  r.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0).count();
+  r.requests = static_cast<std::size_t>(clients) *
+               traffic_for(0, dims).steps.size();
+  const SourceStats ss = handle->source_stats();
+  r.read_calls = ss.read_calls;
+  r.bytes_read = ss.bytes_read;
+  cache_out = handle->cache_stats();
+  return r;
+}
+
+ModeResult run_isolated(const std::string& path, int clients, const Dims& dims) {
+  ModeResult r;
+  r.outputs.resize(static_cast<std::size_t>(clients));
+  std::vector<SourceStats> stats(static_cast<std::size_t>(clients));
+  std::barrier gate(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      gate.arrive_and_wait();
+      FileSource src(path);
+      ProgressiveReader<double> reader(src);
+      for (const Request& req : traffic_for(c, dims).steps) {
+        reader.execute(reader.plan(req));
+      }
+      r.outputs[static_cast<std::size_t>(c)] = reader.data();
+      stats[static_cast<std::size_t>(c)] = src.stats();
+    });
+  }
+  for (auto& th : threads) th.join();
+  r.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0).count();
+  r.requests = static_cast<std::size_t>(clients) *
+               traffic_for(0, dims).steps.size();
+  for (const SourceStats& s : stats) {
+    r.read_calls += s.read_calls;
+    r.bytes_read += s.bytes_read;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ipcomp;
+  using ipcomp::bench::banner;
+
+  const char* json_path = nullptr;
+  int clients = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[i + 1]);
+    }
+  }
+  if (clients < 2) clients = 2;
+
+  banner("Multi-tenant serving", "ArchiveSet vs isolated readers");
+
+  // One mid-size archive on disk (FileSource: real seeks and reads).
+  const Dims dims{96, 96, 64};
+  Options opt;
+  opt.error_bound = 1e-6;
+  opt.block_side = 16;
+  // Keep the archive genuinely progressive: with the default threshold every
+  // level of a 16^3 block is stored whole and partial requests price as full.
+  opt.progressive_threshold = 256;
+  auto field = ipcomp::generate_field(ipcomp::Field::kPressure, dims);
+  const Bytes archive = ipcomp::compress(field.const_view(), opt);
+  const std::string path = "bench_serve_archive.ipc";
+  ipcomp::write_file(path, archive);
+  std::printf("archive: %zu bytes, %d clients x %zu requests\n", archive.size(),
+              clients, traffic_for(0, dims).steps.size());
+
+  CacheStats cache;
+  ModeResult shared = run_shared(path, clients, dims, std::size_t{64} << 20, cache);
+  ModeResult isolated = run_isolated(path, clients, dims);
+  std::remove(path.c_str());
+
+  // Equal reconstructions or the comparison is meaningless.
+  for (int c = 0; c < clients; ++c) {
+    if (shared.outputs[static_cast<std::size_t>(c)] !=
+        isolated.outputs[static_cast<std::size_t>(c)]) {
+      std::fprintf(stderr, "FAIL: client %d diverged between modes\n", c);
+      return 1;
+    }
+  }
+
+  const double throughput =
+      static_cast<double>(shared.requests) / (shared.seconds > 0 ? shared.seconds : 1e-9);
+  std::printf("shared   : %6.3f s, %zu read_calls, %zu bytes, hit rate %.3f\n",
+              shared.seconds, shared.read_calls, shared.bytes_read,
+              cache.hit_rate());
+  std::printf("isolated : %6.3f s, %zu read_calls, %zu bytes\n",
+              isolated.seconds, isolated.read_calls, isolated.bytes_read);
+  std::printf("savings  : %.1fx read_calls, %.1fx bytes, %.0f req/s\n",
+              static_cast<double>(isolated.read_calls) /
+                  static_cast<double>(shared.read_calls ? shared.read_calls : 1),
+              static_cast<double>(isolated.bytes_read) /
+                  static_cast<double>(shared.bytes_read ? shared.bytes_read : 1),
+              throughput);
+
+  if (shared.read_calls >= isolated.read_calls ||
+      shared.bytes_read >= isolated.bytes_read) {
+    std::fprintf(stderr,
+                 "FAIL: shared tier did not beat isolated readers "
+                 "(read_calls %zu vs %zu, bytes %zu vs %zu)\n",
+                 shared.read_calls, isolated.read_calls, shared.bytes_read,
+                 isolated.bytes_read);
+    return 1;
+  }
+
+  if (json_path) {
+    std::FILE* json = std::fopen(json_path, "w");
+    if (!json) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(json, "{\n  \"bench\": \"serve\",\n");
+    std::fprintf(json, "  \"clients\": %d,\n", clients);
+    std::fprintf(json, "  \"requests\": %zu,\n", shared.requests);
+    std::fprintf(json, "  \"throughput_req_s\": %.3f,\n", throughput);
+    std::fprintf(json, "  \"cache_hit_rate\": %.6f,\n", cache.hit_rate());
+    std::fprintf(json, "  \"cache\": {\"hits\": %zu, \"misses\": %zu, \"evictions\": %zu, \"capacity_bytes\": %zu},\n",
+                 cache.hits, cache.misses, cache.evictions, cache.capacity_bytes);
+    std::fprintf(json, "  \"read_calls_shared\": %zu,\n", shared.read_calls);
+    std::fprintf(json, "  \"read_calls_isolated\": %zu,\n", isolated.read_calls);
+    std::fprintf(json, "  \"bytes_shared\": %zu,\n", shared.bytes_read);
+    std::fprintf(json, "  \"bytes_isolated\": %zu,\n", isolated.bytes_read);
+    std::fprintf(json, "  \"seconds_shared\": %.4f,\n", shared.seconds);
+    std::fprintf(json, "  \"seconds_isolated\": %.4f\n", isolated.seconds);
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

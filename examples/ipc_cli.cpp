@@ -8,6 +8,8 @@
 //                [--region z0:z1xy0:y1xx0:x1] [--dry-run]
 //   ipc info     <archive.ipc>
 //   ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]
+//   ipc serve    <archive.ipc> [--clients N] [--rounds R] [--cache-mb C]
+//                [--quota BYTES]
 //
 // Raw files are dense row-major little-endian arrays (SDRBench layout).
 // --block-side N compresses in independent N^d blocks (archive format v2+):
@@ -18,15 +20,22 @@
 // guaranteed error — without fetching a payload byte (the output file may be
 // omitted).  --backend selects the progressive backend (interp = the paper's
 // interpolation predictor, wavelet = CDF 9/7; wavelet archives use format
-// v3).  Unknown flags and malformed values exit non-zero with a usage hint.
+// v3).  `serve` drives N concurrent client sessions through one shared
+// ArchiveSet (segment LRU cache + pooled I/O) and reports throughput, cache
+// hit rate and physical-vs-logical I/O; --quota caps each session's bytes
+// and counts plan-admission rejections.  Unknown flags and malformed values
+// exit non-zero with a usage hint.
 #include <array>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ipcomp.hpp"
@@ -48,7 +57,9 @@ using namespace ipcomp;
       "               [--eb E | --bytes N | --bitrate B | --full]\n"
       "               [--region z0:z1xy0:y1xx0:x1] [--dry-run]\n"
       "  ipc info     <archive.ipc>\n"
-      "  ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]\n";
+      "  ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]\n"
+      "  ipc serve    <archive.ipc> [--clients N] [--rounds R] [--cache-mb C]\n"
+      "               [--quota BYTES]\n";
   std::exit(2);
 }
 
@@ -302,8 +313,8 @@ int do_retrieve(const Args& a) {
             << st.bytes_total << " bytes ("
             << TableReporter::num(st.bitrate, 4) << " bits/value), guaranteed "
             << "L-inf error " << TableReporter::sci(st.guaranteed_error) << "\n"
-            << "fetched " << segments << " segments in " << src.read_calls()
-            << " reads (" << src.coalesced_ranges() << " coalesced ranges)\n";
+            << "fetched " << segments << " segments in " << src.stats().read_calls
+            << " reads (" << src.stats().coalesced_ranges << " coalesced ranges)\n";
   return 0;
 }
 
@@ -359,6 +370,87 @@ int do_stats(const Args& a) {
   return 0;
 }
 
+/// Multi-tenant smoke load: N concurrent clients x R rounds of mixed
+/// fidelity traffic against ONE shared archive handle.  Every session pays
+/// its full logical price in its own ledger; the shared cache + pooled I/O
+/// keep the physical price far below the sum — the gap is the point.
+template <typename T>
+int do_serve(const Args& a) {
+  const int clients = static_cast<int>(
+      a.get("clients") ? parse_size(*a.get("clients"), "clients") : 4);
+  const int rounds = static_cast<int>(
+      a.get("rounds") ? parse_size(*a.get("rounds"), "rounds") : 1);
+  if (clients < 1 || rounds < 1) usage("--clients/--rounds must be >= 1");
+  const std::uint64_t quota =
+      a.get("quota") ? parse_size(*a.get("quota"), "quota") : 0;
+
+  ServeOptions sopts;
+  sopts.cache_capacity_bytes =
+      (a.get("cache-mb") ? parse_size(*a.get("cache-mb"), "cache-mb") : 64)
+      << 20;
+  ArchiveSet set(sopts);
+  auto handle = set.open_file(a.positional[0]);
+
+  std::atomic<std::size_t> served{0}, rejected{0}, logical_bytes{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < rounds; ++r) {
+        Session<T> session(handle, {}, quota);
+        const Request traffic[] = {
+            Request::error_bound(c % 2 ? 1e-2 : 1e-3),
+            Request::bytes(handle->total_size() / 4),
+            Request::full(),
+        };
+        for (const Request& req : traffic) {
+          try {
+            session.retrieve(req);
+            served.fetch_add(1, std::memory_order_relaxed);
+          } catch (const QuotaExceeded&) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            break;  // this session's budget is spent
+          }
+        }
+        logical_bytes.fetch_add(session.bytes_used(),
+                                std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const SourceStats ss = handle->source_stats();
+  const CacheStats cs = handle->cache_stats();
+  const double share = ss.bytes_read
+                           ? static_cast<double>(logical_bytes.load()) /
+                                 static_cast<double>(ss.bytes_read)
+                           : 0.0;
+  std::cout << "served      : " << served.load() << " requests ("
+            << clients << " clients x " << rounds << " rounds), "
+            << rejected.load() << " quota-rejected\n"
+            << "throughput  : "
+            << TableReporter::num(
+                   static_cast<double>(served.load()) /
+                   (seconds > 0 ? seconds : 1e-9))
+            << " req/s\n"
+            << "cache       : " << cs.hits << " hits / " << cs.misses
+            << " misses (rate "
+            << TableReporter::num(cs.hit_rate(), 3) << "), " << cs.evictions
+            << " evictions, " << cs.resident_bytes << "/" << cs.capacity_bytes
+            << " bytes resident\n"
+            << "physical I/O: " << ss.bytes_read << " bytes in "
+            << ss.read_calls << " reads (" << ss.coalesced_ranges
+            << " coalesced ranges)\n"
+            << "logical I/O : " << logical_bytes.load()
+            << " bytes across all sessions (sharing factor "
+            << TableReporter::num(share) << "x)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -394,6 +486,14 @@ int main(int argc, char** argv) {
       args.allow_only({});
       if (args.positional.size() != 1) usage();
       return do_info(args);
+    }
+    if (cmd == "serve") {
+      args.allow_only({"clients", "rounds", "cache-mb", "quota"});
+      if (args.positional.size() != 1) usage();
+      // Value type is recorded in the archive; probe it.
+      FileSource probe(args.positional[0]);
+      bool is32 = Header::parse(probe.header()).dtype == DataType::kFloat32;
+      return is32 ? do_serve<float>(args) : do_serve<double>(args);
     }
     if (cmd == "stats") {
       args.allow_only({"dims", "type"});

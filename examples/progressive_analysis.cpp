@@ -54,10 +54,10 @@ int main(int argc, char** argv) {
                                       : std::vector<double>{0.01, 0.03, 0.10};
   for (double fraction : fractions) {
     const double bits = fraction * 64.0;  // fraction of the raw 64-bit data
-    dr.request_bitrate(bits);
-    xr.request_bitrate(bits);
-    yr.request_bitrate(bits);
-    zr.request_bitrate(bits);
+    dr.retrieve(Request::bitrate(bits));
+    xr.retrieve(Request::bitrate(bits));
+    yr.retrieve(Request::bitrate(bits));
+    zr.retrieve(Request::bitrate(bits));
 
     NdConstView<double> dvx(xr.data().data(), dims);
     NdConstView<double> dvy(yr.data().data(), dims);

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   };
 
   // The plan/execute split: inspect what the request *would* fetch before a
-  // payload byte moves (request_error_bound and friends are wrappers around
+  // payload byte moves (retrieve(Request) is a one-call wrapper around
   // exactly this).
   const double coarse_target =
       1e-3 * (reader.header().data_max - reader.header().data_min);
@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
             << " bytes, guaranteed L-inf "
             << TableReporter::sci(plan.guaranteed_error) << " -> executing\n";
   report("coarse (eb 1e-3) ", reader.execute(plan));
-  report("medium (12 bits) ", reader.request_bitrate(12.0));
-  report("full             ", reader.request_full());
+  report("medium (12 bits) ", reader.retrieve(Request::bitrate(12.0)));
+  report("full             ", reader.retrieve(Request::full()));
 
   std::cout << "\nEvery refinement reused the planes already in memory and\n"
                "decompressed in a single pass (paper Algorithms 1 & 2).\n";

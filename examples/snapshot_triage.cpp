@@ -69,9 +69,9 @@ int main(int argc, char** argv) {
     MemorySource sx{Bytes(archives[t].vx)}, sy{Bytes(archives[t].vy)},
         sz{Bytes(archives[t].vz)};
     ProgressiveReader<double> rx(sx), ry(sy), rz(sz);
-    rx.request_bitrate(1.0);
-    ry.request_bitrate(1.0);
-    rz.request_bitrate(1.0);
+    rx.retrieve(Request::bitrate(1.0));
+    ry.retrieve(Request::bitrate(1.0));
+    rz.retrieve(Request::bitrate(1.0));
     auto curl = curl_magnitude({rx.data().data(), dims}, {ry.data().data(), dims},
                                {rz.data().data(), dims});
     double mean = 0;
@@ -92,9 +92,9 @@ int main(int argc, char** argv) {
     MemorySource sx{Bytes(archives[best_t].vx)}, sy{Bytes(archives[best_t].vy)},
         sz{Bytes(archives[best_t].vz)};
     ProgressiveReader<double> rx(sx), ry(sy), rz(sz);
-    rx.request_full();
-    ry.request_full();
-    rz.request_full();
+    rx.retrieve(Request::full());
+    ry.retrieve(Request::full());
+    rz.retrieve(Request::full());
     triage_bytes += rx.bytes_loaded() + ry.bytes_loaded() + rz.bytes_loaded();
   }
 

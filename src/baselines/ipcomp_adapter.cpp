@@ -23,17 +23,38 @@ Bytes IpcompAdapter::compress(NdConstView<double> data, double eb_abs) {
   return ipcomp::compress(data, opt);
 }
 
+namespace {
+
+/// plan() then execute(), cross-checking the planner's exact-pricing
+/// contract: a plan's predicted bytes_new must match what execute() then
+/// fetched.  The baselines are the evaluation's measuring stick, so a drift
+/// here (a planner/accounting regression) should abort loudly rather than
+/// skew every comparison figure.
+RetrievalStats checked_retrieve(ProgressiveReader<double>& reader,
+                                const Request& req) {
+  const RetrievalPlan plan = reader.plan(req);
+  RetrievalStats st = reader.execute(plan);
+  if (st.bytes_new != plan.bytes_new) {
+    throw std::logic_error(
+        "ipcomp adapter: plan predicted " + std::to_string(plan.bytes_new) +
+        " bytes but execute fetched " + std::to_string(st.bytes_new));
+  }
+  return st;
+}
+
+}  // namespace
+
 std::vector<double> IpcompAdapter::decompress(const Bytes& archive) {
   MemorySource src{Bytes(archive)};
   ProgressiveReader<double> reader(src, cfg_);
-  reader.request_full();
+  checked_retrieve(reader, Request::full());
   return reader.data();
 }
 
 Retrieval IpcompAdapter::retrieve_error(const Bytes& archive, double target) {
   MemorySource src{Bytes(archive)};
   ProgressiveReader<double> reader(src, cfg_);
-  auto st = reader.request_error_bound(target);
+  auto st = checked_retrieve(reader, Request::error_bound(target));
   Retrieval out;
   out.data = reader.data();
   out.bytes_loaded = st.bytes_total;
@@ -45,7 +66,7 @@ Retrieval IpcompAdapter::retrieve_error(const Bytes& archive, double target) {
 Retrieval IpcompAdapter::retrieve_bytes(const Bytes& archive, std::uint64_t budget) {
   MemorySource src{Bytes(archive)};
   ProgressiveReader<double> reader(src, cfg_);
-  auto st = reader.request_bytes(budget);
+  auto st = checked_retrieve(reader, Request::bytes(budget));
   Retrieval out;
   out.data = reader.data();
   out.bytes_loaded = st.bytes_total;

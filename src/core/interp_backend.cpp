@@ -118,7 +118,7 @@ void reconstruct_impl(const Header& h, const BlockCodes& bc, T* field) {
 /// Refinement: sweep only the newly added code bits into a block-local
 /// dense delta buffer, then add it onto the block's strided span of the
 /// field — the cost stays proportional to the block, not the field (matters
-/// for request_region).  Always swept in double so incremental refinement of
+/// for region-scoped requests).  Always swept in double so incremental refinement of
 /// float archives loses at most one rounding at the final addition.
 template <typename T>
 void refine_impl(const Header& h, const BlockCodes& bc,

@@ -13,7 +13,7 @@ struct Options {
   /// bitplane pipeline.  kInterp is the paper's interpolation predictor and
   /// writes archive format v1/v2; every other backend (e.g. kWavelet, a
   /// CDF 9/7 transform) writes format v3.  All backends serve the same
-  /// ProgressiveReader request API, including request_region.
+  /// ProgressiveReader Request API, including region-scoped requests.
   BackendId backend = BackendId::kInterp;
 
   /// Quantization error bound.  When `relative` is true this is multiplied by

@@ -22,9 +22,9 @@ void bitmap_set(Bytes& bm, std::size_t i) {
 template <typename T>
 ProgressiveReader<T>::ProgressiveReader(SegmentSource& src, ReaderConfig cfg)
     : src_(src), cfg_(cfg) {
-  const std::size_t at_open = src_.bytes_read();
+  const std::size_t at_open = src_.stats().bytes_read;
   header_ = Header::parse(src_.header());
-  unattributed_open_cost_ = src_.bytes_read() - at_open;
+  unattributed_open_cost_ = src_.stats().bytes_read - at_open;
   if (header_.dtype != data_type_of<T>()) {
     throw std::runtime_error("ProgressiveReader: archive value type mismatch");
   }
@@ -375,7 +375,7 @@ template <typename T>
 RetrievalStats ProgressiveReader<T>::finish_stats(std::size_t before) {
   RetrievalStats st;
   st.guaranteed_error = current_guaranteed_error();
-  st.bytes_total = src_.bytes_read();
+  st.bytes_total = src_.stats().bytes_read;
   st.bytes_new = st.bytes_total - before;
   st.bitrate = 8.0 * static_cast<double>(st.bytes_total) /
                static_cast<double>(header_.dims.count());
@@ -498,7 +498,7 @@ RetrievalPlan ProgressiveReader<T>::plan(const Request& req) const {
       const double total_budget = br.bits_per_value *
                                   static_cast<double>(header_.dims.count()) /
                                   8.0;
-      const double already = static_cast<double>(src_.bytes_read());
+      const double already = static_cast<double>(src_.stats().bytes_read);
       budget = total_budget > already
                    ? static_cast<std::uint64_t>(total_budget - already)
                    : 0;
@@ -545,7 +545,7 @@ RetrievalStats ProgressiveReader<T>::execute(const RetrievalPlan& p) {
     throw std::logic_error(
         "execute: stale plan (the reader advanced since plan() ran)");
   }
-  const std::size_t entry = src_.bytes_read();
+  const std::size_t entry = src_.stats().bytes_read;
 
   // One bulk fetch for everything the plan names — base, aux and plane
   // segments across all blocks.  Sources that batch (FileSource coalesces
@@ -600,6 +600,12 @@ RetrievalStats ProgressiveReader<T>::execute(const RetrievalPlan& p) {
   return st;
 }
 
+// Definitions of the deprecated request_* spellings: defining (and
+// explicitly instantiating) them must not trip -Werror=deprecated-
+// declarations; only call sites should.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 template <typename T>
 RetrievalStats ProgressiveReader<T>::request_error_bound(double target) {
   return execute(plan(Request::error_bound(target)));
@@ -626,6 +632,8 @@ RetrievalStats ProgressiveReader<T>::request_region(
     const std::array<std::size_t, kMaxRank>& hi) {
   return execute(plan(Request::full().within(lo, hi)));
 }
+
+#pragma GCC diagnostic pop
 
 template class ProgressiveReader<float>;
 template class ProgressiveReader<double>;

@@ -15,8 +15,9 @@
 //     codes on a block's first touch (Algorithm 1), incremental refinement
 //     afterwards (Algorithm 2 for the interpolation backend; transform
 //     backends may simply rebuild the block).
-// The five legacy request_* methods are one-line plan+execute wrappers and
-// remain fully supported.
+// retrieve(Request) is the one-call combinator (execute(plan(req))); the
+// five legacy request_* methods are deprecated spellings of the same thing
+// and will be removed once external callers migrate.
 //
 // Everything format- and transform-specific — code -> field reconstruction
 // and the per-level loss amplification the planner prices with — lives in
@@ -75,16 +76,16 @@ struct RetrievalStats {
 
 /// Thread contract: externally-synchronized, with const-safe planning.
 /// A reader is the single-owner retrieval state for one archive: execute()
-/// and the request_* wrappers advance the resident plane set, the epoch
-/// serial, and the reconstruction, and must be serialized by the caller.
-/// plan() and every other const member are *pure* reads of that state —
-/// concurrent plan() calls on one reader (admission control probing many
-/// requests at once) are safe, return identical plans for identical
-/// requests, and never touch the SegmentSource payload path
-/// (tests/test_concurrency.cpp pins this under TSan).  Scaling to many
-/// concurrent clients means one reader per client over per-client sources of
-/// one shared archive — the multi-tenant server layer (ROADMAP item 1) will
-/// add the shared-cache tier on top of this contract.
+/// and retrieve() advance the resident plane set, the epoch serial, and the
+/// reconstruction, and must be serialized by the caller.  plan() and every
+/// other const member are *pure* reads of that state — concurrent plan()
+/// calls on one reader (admission control probing many requests at once) are
+/// safe, return identical plans for identical requests, and never touch the
+/// SegmentSource payload path (tests/test_concurrency.cpp pins this under
+/// TSan).  Scaling to many concurrent clients means one reader per client
+/// over per-client sources of one shared archive — the serve layer
+/// (serve/archive_set.hpp) packages exactly that: per-client Sessions whose
+/// SessionSources share one cache + pooled I/O tier.
 template <typename T>
 class ProgressiveReader {
  public:
@@ -104,33 +105,33 @@ class ProgressiveReader {
   /// plan() ran) throws std::logic_error.
   RetrievalStats execute(const RetrievalPlan& plan);
 
-  /// Retrieve so the output's L∞ error is guaranteed <= target (must be
-  /// >= the compression eb; smaller targets retrieve everything).
-  /// Equivalent to execute(plan(Request::error_bound(target))).
+  /// One-call retrieval: execute(plan(req)).  The Request factories cover
+  /// every mode — Request::error_bound / bytes / bitrate / full, each
+  /// optionally scoped with .within(lo, hi) — so this is the single entry
+  /// point that replaced the request_* wrappers below.
+  RetrievalStats retrieve(const Request& req) { return execute(plan(req)); }
+
+  /// Deprecated spelling of retrieve(Request::error_bound(target)).
+  [[deprecated("use plan(Request)/execute() or retrieve(Request::error_bound(target))")]]
   RetrievalStats request_error_bound(double target);
 
-  /// Retrieve at most `budget_bytes` additional bytes, minimizing error.
-  /// Equivalent to execute(plan(Request::bytes(budget_bytes))).
+  /// Deprecated spelling of retrieve(Request::bytes(budget_bytes)).
+  [[deprecated("use plan(Request)/execute() or retrieve(Request::bytes(budget_bytes))")]]
   RetrievalStats request_bytes(std::uint64_t budget_bytes);
 
-  /// Retrieve so the *cumulative* retrieved volume stays within
-  /// bits_per_value * n / 8 bytes (the paper's fixed-bitrate mode).
-  /// Equivalent to execute(plan(Request::bitrate(bits_per_value))).
+  /// Deprecated spelling of retrieve(Request::bitrate(bits_per_value)).
+  [[deprecated("use plan(Request)/execute() or retrieve(Request::bitrate(bits_per_value))")]]
   RetrievalStats request_bitrate(double bits_per_value);
 
-  /// Retrieve all remaining planes (full-fidelity output, error <= eb).
-  /// Equivalent to execute(plan(Request::full())).
+  /// Deprecated spelling of retrieve(Request::full()).
+  [[deprecated("use plan(Request)/execute() or retrieve(Request::full())")]]
   RetrievalStats request_full();
 
-  /// Region-of-interest retrieval: load the blocks of a block-decomposed
-  /// archive that intersect the half-open box [lo, hi) — and only those —
-  /// at full fidelity.  Elements of data() inside the region are then within
-  /// eb of the original; elements in non-intersecting blocks are whatever
-  /// earlier requests produced (zero if none ran).  On a whole-field (v1)
-  /// archive the single block spans the field, so this equals request_full.
-  /// Equivalent to execute(plan(Request::full().within(lo, hi))); combine a
-  /// region with an error-bound or byte target by building the Request
-  /// directly.
+  /// Deprecated spelling of retrieve(Request::full().within(lo, hi)) —
+  /// full-fidelity region retrieval over the blocks intersecting the
+  /// half-open box [lo, hi); combine a region with an error-bound or byte
+  /// target by building the Request directly.
+  [[deprecated("use plan(Request)/execute() or retrieve(Request::full().within(lo, hi))")]]
   RetrievalStats request_region(const std::array<std::size_t, kMaxRank>& lo,
                                 const std::array<std::size_t, kMaxRank>& hi);
 
@@ -139,7 +140,7 @@ class ProgressiveReader {
   const ProgressiveBackend& backend() const { return *backend_; }
   const BlockGrid& block_grid() const { return grid_; }
   std::size_t element_count() const { return header_.dims.count(); }
-  std::size_t bytes_loaded() const { return src_.bytes_read(); }
+  std::size_t bytes_loaded() const { return src_.stats().bytes_read; }
   double compression_eb() const { return header_.eb; }
   double current_guaranteed_error() const;
 

@@ -4,8 +4,8 @@
 // archive: a fidelity target (error bound, byte budget, bitrate, or full
 // fidelity) plus an optional region box scoping the request to the blocks
 // that intersect it.  This makes "this region at eb 1e-3" — previously
-// inexpressible (request_region was full-fidelity-only) — a first-class
-// request.
+// inexpressible (the legacy region call was full-fidelity-only) — a
+// first-class request.
 //
 // ProgressiveReader turns a Request into a RetrievalPlan *before any payload
 // byte moves* (plan() touches only the header and the segment-size index,
@@ -39,7 +39,7 @@ struct RegionBox {
 /// One retrieval request: a fidelity target plus an optional region scope.
 struct Request {
   /// Retrieve until the guaranteed L∞ error is <= target (targets below the
-  /// compression eb retrieve everything, like request_error_bound).
+  /// compression eb retrieve everything).
   struct ErrorBound {
     double target = 0.0;
   };

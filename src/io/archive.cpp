@@ -9,14 +9,18 @@ namespace ipcomp {
 std::vector<Bytes> SegmentSource::read_many(std::span<const SegmentId> ids) {
   std::vector<Bytes> out;
   out.reserve(ids.size());
-  const std::size_t charged_before = bytes_read();
+  std::size_t delivered = 0;
   try {
-    for (const SegmentId& id : ids) out.push_back(read_segment(id));
+    for (const SegmentId& id : ids) {
+      out.push_back(read_segment(id));
+      delivered += out.back().size();
+    }
   } catch (...) {
     // A mid-batch failure delivers nothing, so nothing may stay charged —
     // same all-or-nothing accounting as FileSource::read_many, keeping a
-    // retried execute() from double-counting retrieved volume.
-    uncharge_bytes_to(charged_before);
+    // retried execute() from double-counting retrieved volume.  Only this
+    // batch's charges are rolled back; fetches on other threads keep theirs.
+    uncharge_bytes(delivered);
     throw;
   }
   return out;
@@ -234,7 +238,7 @@ std::vector<Bytes> FileSource::read_many(std::span<const SegmentId> ids) {
       throw std::runtime_error("archive: short segment read");
     }
     count_read_call();
-    coalesced_ranges_.fetch_add(1, std::memory_order_relaxed);
+    count_coalesced_range();
     for (; i < j; ++i) {
       const Item& item = items[i];
       out[item.idx].assign(buf.begin() + (item.offset - begin),

@@ -105,20 +105,41 @@ class ArchiveBuilder {
   std::map<std::uint64_t, Bytes> segments_;
 };
 
+/// One snapshot of a source's retrieval accounting, taken by a single
+/// SegmentSource::stats() call — the stitched per-counter getters this
+/// replaced let a monitoring thread read bytes from one instant and calls
+/// from another; a snapshot keeps the fields of one read together, and for a
+/// quiescent source (no fetch in flight) it is exact.
+struct SourceStats {
+  /// Bytes of payload + header actually retrieved so far.  This is the
+  /// "retrieved data volume" metric of the evaluation: only requested
+  /// payload bytes are charged, never coalescing gap bytes.
+  std::size_t bytes_read = 0;
+  /// Physical read operations issued so far (header + segment fetches; a
+  /// coalesced bulk read counts once per contiguous range).  Benchmarks use
+  /// segments-fetched / read_calls as the fetch-efficiency figure.
+  std::size_t read_calls = 0;
+  /// Contiguous ranges issued by batching read_many implementations
+  /// (FileSource; each range is one read call).  Zero for per-segment
+  /// sources.
+  std::size_t coalesced_ranges = 0;
+};
+
 /// Read-side interface: fetch the header once, then segments on demand.
 /// Implementations count the bytes they hand out.
 ///
-/// Thread contract: externally-synchronized for fetches, const-safe
-/// otherwise.  The parsed index is immutable after construction, so the
-/// const queries (has_segment, segment_size, segment_ids, version,
-/// total_size) are safe from any thread; the fetching calls (header,
-/// read_segment, read_many) mutate cached state and accounting and must be
-/// serialized per source — the intended sharing model is one source per
-/// reader over a shared underlying archive (file or blob).  The stat
-/// counters are internally-synchronized (relaxed atomics) so monitoring
-/// threads may sample bytes_read()/read_calls() while a fetch is in flight
-/// and always observe a well-defined (if momentarily stale) value; the
-/// counters of a *completed* fetch are exact.
+/// Thread contract: const-safe, with internally-synchronized payload fetches
+/// and stat counters.  The parsed index is immutable after construction, so
+/// the const queries (has_segment, segment_size, segment_ids, version,
+/// total_size) are safe from any thread.  read_segment/read_many of the
+/// concrete sources touch only the immutable index, operation-local state
+/// and the atomic stat counters, so concurrent fetches are safe — this is
+/// what lets the serve layer's PooledSource dispatch merged batches from
+/// several workers at once.  header() mutates the header cache and must be
+/// serialized (in practice: fetched once, at open).  stats() may be sampled
+/// from any thread while fetches are in flight and always observes
+/// well-defined (if momentarily stale) values; the counters of a *completed*
+/// fetch are exact.
 class SegmentSource {
  public:
   virtual ~SegmentSource() = default;
@@ -131,8 +152,8 @@ class SegmentSource {
   /// per-operation cost (files, remote stores) override it to batch — e.g.
   /// FileSource sorts by file offset and coalesces near-adjacent ranges into
   /// single reads.  Only the requested segments' payload bytes are charged to
-  /// bytes_read(), never coalescing gap bytes: the retrieved-data-volume
-  /// metric must not depend on the fetch strategy.
+  /// stats().bytes_read, never coalescing gap bytes: the retrieved-data-
+  /// volume metric must not depend on the fetch strategy.
   virtual std::vector<Bytes> read_many(std::span<const SegmentId> ids);
   virtual bool has_segment(SegmentId id) const = 0;
   virtual std::size_t segment_size(SegmentId id) const = 0;
@@ -142,18 +163,13 @@ class SegmentSource {
   /// Archive format version parsed from the container.
   virtual std::uint32_t version() const = 0;
 
-  /// Bytes of payload + header actually retrieved so far.
-  std::size_t bytes_read() const {
-    return bytes_read_.load(std::memory_order_relaxed);
-  }
-  void reset_bytes_read() { bytes_read_.store(0, std::memory_order_relaxed); }
-
-  /// Physical read operations issued so far (header + segment fetches; a
-  /// coalesced bulk read counts once per contiguous range).  Benchmarks use
-  /// the ratio of segments fetched to read_calls() as the fetch-efficiency
-  /// figure.
-  std::size_t read_calls() const {
-    return read_calls_.load(std::memory_order_relaxed);
+  /// One coherent snapshot of the accounting counters.
+  SourceStats stats() const {
+    SourceStats s;
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.read_calls = read_calls_.load(std::memory_order_relaxed);
+    s.coalesced_ranges = coalesced_ranges_.load(std::memory_order_relaxed);
+    return s;
   }
 
   /// Total serialized archive size (for compression-ratio accounting).
@@ -166,14 +182,21 @@ class SegmentSource {
   void charge_bytes(std::size_t n) {
     bytes_read_.fetch_add(n, std::memory_order_relaxed);
   }
-  void uncharge_bytes_to(std::size_t snapshot) {
-    bytes_read_.store(snapshot, std::memory_order_relaxed);
+  /// Roll back `n` bytes charged by a batch that failed to deliver
+  /// (all-or-nothing accounting).  A subtraction, not a store: concurrent
+  /// fetches on a shared source must not have their charges clobbered.
+  void uncharge_bytes(std::size_t n) {
+    bytes_read_.fetch_sub(n, std::memory_order_relaxed);
   }
   void count_read_call() { read_calls_.fetch_add(1, std::memory_order_relaxed); }
+  void count_coalesced_range() {
+    coalesced_ranges_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::size_t> bytes_read_{0};
   std::atomic<std::size_t> read_calls_{0};
+  std::atomic<std::size_t> coalesced_ranges_{0};
 };
 
 /// Adjacent-range coalescing threshold for batched file reads: two segments
@@ -209,11 +232,12 @@ struct ArchiveIndex {
 };
 
 /// SegmentSource over a fully in-memory archive blob.  Only the bytes of the
-/// segments actually requested are charged to bytes_read().
+/// segments actually requested are charged to stats().bytes_read.
 ///
-/// Thread contract: inherits SegmentSource's — externally-synchronized for
-/// fetches (header/read_segment mutate the header cache and accounting),
-/// const queries and stat sampling safe from any thread.
+/// Thread contract: inherits SegmentSource's — read_segment/read_many touch
+/// only the immutable blob/index and the atomic counters, so concurrent
+/// fetches are safe; header() mutates the header cache and must be
+/// serialized (fetched once, at open).
 class MemorySource final : public SegmentSource {
  public:
   explicit MemorySource(Bytes archive);
@@ -239,9 +263,12 @@ class MemorySource final : public SegmentSource {
 /// payload out of the shared buffer — one open + one read per contiguous run
 /// instead of one per segment.
 ///
-/// Thread contract: inherits SegmentSource's.  Each fetch opens its own file
-/// handle, so N readers over one archive file each construct their own
-/// FileSource (cheap: one index parse) rather than sharing one instance.
+/// Thread contract: inherits SegmentSource's.  Every fetch opens its own
+/// file handle and touches only the immutable index plus the atomic
+/// counters, so read_segment/read_many may overlap from any number of
+/// threads over one instance — the serve layer's PooledSource relies on this
+/// to dispatch merged batches from several workers at once.  header() still
+/// mutates the header cache and must be serialized (fetched once, at open).
 class FileSource final : public SegmentSource {
  public:
   explicit FileSource(std::string path);
@@ -255,13 +282,6 @@ class FileSource final : public SegmentSource {
   std::uint32_t version() const override { return index_.version; }
   std::size_t total_size() const override { return file_size_; }
 
-  /// Coalesced ranges issued by read_many() so far (each is one read call).
-  /// Same contract as the base stat counters: relaxed atomic, safe to sample
-  /// from a monitoring thread while a fetch is in flight.
-  std::size_t coalesced_ranges() const {
-    return coalesced_ranges_.load(std::memory_order_relaxed);
-  }
-
  private:
   Bytes read_range(std::size_t offset, std::size_t length) const;
 
@@ -270,7 +290,6 @@ class FileSource final : public SegmentSource {
   ArchiveIndex index_;
   Bytes header_cache_;
   bool header_loaded_ = false;
-  std::atomic<std::size_t> coalesced_ranges_{0};
 };
 
 /// Write a serialized archive to disk.

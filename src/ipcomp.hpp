@@ -11,27 +11,42 @@
 //
 //   ipcomp::MemorySource src(std::move(archive));
 //   ipcomp::ProgressiveReader<double> reader(src);
-//   auto coarse = reader.request_error_bound(1e-2);   // loads a few planes
-//   auto finer  = reader.request_bitrate(2.0);        // incremental refine
-//   auto full   = reader.request_full();              // error <= eb
+//   auto coarse = reader.retrieve(ipcomp::Request::error_bound(1e-2));
+//   auto finer  = reader.retrieve(ipcomp::Request::bitrate(2.0));
+//   auto full   = reader.retrieve(ipcomp::Request::full());  // error <= eb
 //   const std::vector<double>& values = reader.data();
 //
-// Or with the plan/execute split (same machinery; the request_* methods are
-// wrappers) — inspect what a request would fetch before moving any bytes,
-// and compose a region with a fidelity target:
+// retrieve(req) is execute(plan(req)); split the two to inspect what a
+// request would fetch before moving any bytes, and compose a region with any
+// fidelity target:
 //
 //   auto plan = reader.plan(
 //       ipcomp::Request::error_bound(1e-3).within({0,0,0}, {64,64,64}));
 //   // plan.segments / plan.bytes_new / plan.guaranteed_error ...
 //   auto stats = reader.execute(plan);
 //
+// (The legacy request_* wrappers are deprecated spellings of retrieve() and
+// will be removed; see README "Serving" for the migration table.)
+//
+// Serving many clients from one archive (serve/): an ArchiveSet opens each
+// archive once; per-client Sessions share its segment cache and pooled I/O,
+// so hot planes are fetched from storage once, and per-session byte quotas
+// are enforced exactly at plan admission:
+//
+//   ipcomp::ArchiveSet set;
+//   auto handle = set.open_file("field.ipc");
+//   ipcomp::Session<double> session(handle, {}, /*byte_quota=*/1 << 20);
+//   auto st = session.retrieve(ipcomp::Request::error_bound(1e-3));
+//
 // Thread safety (taxonomy in util/sync.hpp; per-class contracts on the
 // classes themselves): compress() is safe from any number of threads
-// concurrently.  ProgressiveReader is one-per-client over a per-client
-// SegmentSource — serialize access per reader, except plan(), which is const
-// and pure and may overlap freely.  These contracts are machine-checked by
-// the Clang thread-safety analysis and race-tested under ThreadSanitizer
-// (tests/test_concurrency.cpp; see README "Correctness tooling").
+// concurrently.  ProgressiveReader and Session are one-per-client —
+// serialize access per instance, except plan(), which is const and pure and
+// may overlap freely; the serve-layer tier underneath (ArchiveSet,
+// SegmentCache, PooledSource) is internally-synchronized.  These contracts
+// are machine-checked by the Clang thread-safety analysis and race-tested
+// under ThreadSanitizer (tests/test_concurrency.cpp, tests/test_serve.cpp;
+// see README "Correctness tooling").
 #pragma once
 
 #include "core/backend.hpp"
@@ -41,5 +56,9 @@
 #include "core/progressive_reader.hpp"
 #include "core/request.hpp"
 #include "io/archive.hpp"
+#include "serve/archive_set.hpp"
+#include "serve/cache.hpp"
+#include "serve/pooled_source.hpp"
+#include "serve/session.hpp"
 #include "util/dims.hpp"
 #include "util/ndarray.hpp"

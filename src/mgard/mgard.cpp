@@ -205,7 +205,7 @@ Retrieval PmgardCompressor::retrieve(const Bytes& archive, double error_target,
   const double floor_err = base_loss(h);
   LoadPlan plan;
   if (byte_mode) {
-    const std::size_t mandatory = src.bytes_read();
+    const std::size_t mandatory = src.stats().bytes_read;
     std::uint64_t remaining = byte_budget > mandatory ? byte_budget - mandatory : 0;
     plan = plan_byte_budget(inputs, remaining);
   } else {
@@ -238,7 +238,7 @@ Retrieval PmgardCompressor::retrieve(const Bytes& archive, double error_target,
 
   Retrieval out;
   out.data = mgard_recompose(h.dims, coeffs);
-  out.bytes_loaded = src.bytes_read();
+  out.bytes_loaded = src.stats().bytes_read;
   out.passes = 1;
   out.guaranteed_error = floor_err + plan.guaranteed_error;
   return out;

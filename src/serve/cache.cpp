@@ -1,0 +1,57 @@
+#include "serve/cache.hpp"
+
+namespace ipcomp {
+
+bool SegmentCache::get(std::uint64_t key, Bytes& out) {
+  LockGuard lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  out = it->second.payload;
+  return true;
+}
+
+void SegmentCache::put(std::uint64_t key, const Bytes& payload) {
+  if (payload.size() > capacity_) return;
+  LockGuard lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Concurrent misses on one key both fetch and both put; the payload is
+    // identical (segments are immutable), so just promote the entry.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  evict_until_fits(payload.size());
+  lru_.push_front(key);
+  map_.emplace(key, Entry{payload, lru_.begin()});
+  resident_bytes_ += payload.size();
+}
+
+CacheStats SegmentCache::stats() const {
+  LockGuard lock(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident_bytes = resident_bytes_;
+  s.capacity_bytes = capacity_;
+  s.entries = map_.size();
+  return s;
+}
+
+void SegmentCache::evict_until_fits(std::size_t incoming) {
+  while (!lru_.empty() && resident_bytes_ + incoming > capacity_) {
+    const std::uint64_t victim = lru_.back();
+    auto it = map_.find(victim);
+    resident_bytes_ -= it->second.payload.size();
+    map_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace ipcomp

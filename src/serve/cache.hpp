@@ -1,0 +1,83 @@
+// Segment-level LRU byte cache for the multi-tenant serve layer.
+//
+// One SegmentCache sits between all of an archive's Sessions and its
+// physical SegmentSource: the first client to need a hot base/aux/coarse
+// plane pays the fetch, every later client is served the cached payload.
+// Capacity is in bytes (segment payloads vary from a few hundred bytes for
+// deep planes to megabytes for base data), eviction is strict LRU, and an
+// entry larger than the whole capacity is simply not cached — the fetch
+// still succeeds, it just isn't retained.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "io/bytes.hpp"
+#include "util/sync.hpp"
+
+namespace ipcomp {
+
+/// One snapshot of a cache's counters, taken by a single stats() call under
+/// the cache lock — all fields are mutually consistent (the companion of
+/// SourceStats for the I/O side).
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  /// Bytes currently resident; never exceeds capacity_bytes.
+  std::size_t resident_bytes = 0;
+  std::size_t capacity_bytes = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Thread contract: internally-synchronized.  get/put/stats are safe from
+/// any thread; payloads are copied in and out so no caller ever holds a
+/// reference into the cache (an eviction on another thread must not
+/// invalidate a payload a reader is decoding).
+class SegmentCache {
+ public:
+  explicit SegmentCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+  SegmentCache(const SegmentCache&) = delete;
+  SegmentCache& operator=(const SegmentCache&) = delete;
+
+  /// On hit, copies the payload into `out`, promotes the entry to
+  /// most-recently-used, and returns true; on miss returns false with `out`
+  /// untouched.  Either way the lookup is counted.
+  bool get(std::uint64_t key, Bytes& out) IPCOMP_EXCLUDES(mu_);
+
+  /// Inserts (or refreshes) `key`, evicting least-recently-used entries
+  /// until the payload fits.  Payloads larger than the capacity are not
+  /// cached at all.
+  void put(std::uint64_t key, const Bytes& payload) IPCOMP_EXCLUDES(mu_);
+
+  CacheStats stats() const IPCOMP_EXCLUDES(mu_);
+
+  std::size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  void evict_until_fits(std::size_t incoming) IPCOMP_REQUIRES(mu_);
+
+  struct Entry {
+    Bytes payload;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  /// Front = most recently used; back is the eviction candidate.
+  std::list<std::uint64_t> lru_ IPCOMP_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, Entry> map_ IPCOMP_GUARDED_BY(mu_);
+  std::size_t resident_bytes_ IPCOMP_GUARDED_BY(mu_) = 0;
+  std::size_t hits_ IPCOMP_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ IPCOMP_GUARDED_BY(mu_) = 0;
+  std::size_t evictions_ IPCOMP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ipcomp

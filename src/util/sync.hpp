@@ -15,7 +15,8 @@
 //     owner contract; e.g. ProgressiveReader, ArchiveBuilder).
 //   * internally-synchronized: safe to call from any thread without external
 //     locking (e.g. the backend registry, the dataset cache, the SIMD
-//     dispatch singleton, SegmentSource stat counters).
+//     dispatch singleton, SegmentSource stat counters, and the whole serve
+//     layer's shared tier: SegmentCache, PooledSource, ArchiveSet).
 #pragma once
 
 #include <condition_variable>
@@ -56,7 +57,7 @@
 /// Returns the capability protecting the returned reference.
 #define IPCOMP_RETURN_CAPABILITY(x) IPCOMP_THREAD_ANNOTATION(lock_returned(x))
 /// Escape hatch: the analysis cannot see through this function.  Every use
-/// carries a justification comment (see the NOLINT policy in README.md).
+/// carries a justification comment (see the suppression policy in README.md).
 #define IPCOMP_NO_THREAD_SAFETY_ANALYSIS \
   IPCOMP_THREAD_ANNOTATION(no_thread_safety_analysis)
 

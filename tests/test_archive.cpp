@@ -79,7 +79,7 @@ TEST(Archive, ReadManyMatchesPerSegmentReads) {
   for (std::size_t i = 0; i < order.size(); ++i) {
     EXPECT_EQ(batch[i], c.read_segment(order[i])) << i;
   }
-  EXPECT_EQ(a.bytes_read(), c.bytes_read());
+  EXPECT_EQ(a.stats().bytes_read, c.stats().bytes_read);
   EXPECT_THROW(a.read_many(std::vector<SegmentId>{{9, 9, 9}}),
                std::runtime_error);
   EXPECT_TRUE(a.read_many(std::vector<SegmentId>{}).empty());
@@ -107,16 +107,16 @@ TEST(Archive, FileSourceReadManyCoalescesAdjacentRanges) {
   for (std::uint32_t i = 0; i < 16; ++i) order.push_back(ids[(7 * i + 3) % 16]);
   FileSource fsrc(path);
   MemorySource msrc{Bytes(blob)};
-  const std::size_t calls_before = fsrc.read_calls();
+  const std::size_t calls_before = fsrc.stats().read_calls;
   auto batch = fsrc.read_many(order);
-  EXPECT_EQ(fsrc.read_calls(), calls_before + 1);
-  EXPECT_EQ(fsrc.coalesced_ranges(), 1u);
+  EXPECT_EQ(fsrc.stats().read_calls, calls_before + 1);
+  EXPECT_EQ(fsrc.stats().coalesced_ranges, 1u);
   std::size_t payload_bytes = 0;
   for (std::size_t i = 0; i < order.size(); ++i) {
     EXPECT_EQ(batch[i], msrc.read_segment(order[i])) << i;
     payload_bytes += batch[i].size();
   }
-  EXPECT_EQ(fsrc.bytes_read(), payload_bytes);  // no gap bytes charged
+  EXPECT_EQ(fsrc.stats().bytes_read, payload_bytes);  // no gap bytes charged
 
   // A segment far past the gap threshold forces a second range.
   ArchiveBuilder b2;
@@ -128,7 +128,7 @@ TEST(Archive, FileSourceReadManyCoalescesAdjacentRanges) {
   FileSource far_src(path);
   auto far = far_src.read_many(
       std::vector<SegmentId>{{1, 1, 0}, {1, 1, 2}});
-  EXPECT_EQ(far_src.coalesced_ranges(), 2u);
+  EXPECT_EQ(far_src.stats().coalesced_ranges, 2u);
   EXPECT_EQ(far[0], make_payload(64, 0x11));
   EXPECT_EQ(far[1], make_payload(64, 0x33));
   std::remove(path.c_str());
@@ -143,15 +143,15 @@ TEST(Archive, BytesReadCountsOnlyTouchedSegments) {
   std::size_t total = blob.size();
 
   MemorySource src(std::move(blob));
-  EXPECT_EQ(src.bytes_read(), 0u);
+  EXPECT_EQ(src.stats().bytes_read, 0u);
   src.header();
-  std::size_t header_cost = src.bytes_read();
+  std::size_t header_cost = src.stats().bytes_read;
   EXPECT_GT(header_cost, 10u);          // header + index
   EXPECT_LT(header_cost, total - 3500); // but not the payloads
   src.header();
-  EXPECT_EQ(src.bytes_read(), header_cost);  // charged once
+  EXPECT_EQ(src.stats().bytes_read, header_cost);  // charged once
   src.read_segment({0, 1, 0});
-  EXPECT_EQ(src.bytes_read(), header_cost + 1000);
+  EXPECT_EQ(src.stats().bytes_read, header_cost + 1000);
   EXPECT_EQ(src.total_size(), total);
 }
 

@@ -83,7 +83,7 @@ TEST_P(BackendRoundTrip, BoundHoldsAtEveryFidelityAndGuaranteeIsMonotone) {
   double prev_guarantee = std::numeric_limits<double>::infinity();
   std::size_t prev_bytes = 0;
   for (double factor : {1e4, 1e2, 1e1, 2.0}) {
-    auto st = reader.request_error_bound(factor * eb);
+    auto st = reader.retrieve(Request::error_bound(factor * eb));
     EXPECT_LE(st.guaranteed_error, factor * eb * (1 + 1e-9));
     EXPECT_LE(linf(field.const_view(), reader.data()),
               st.guaranteed_error * (1 + 1e-9))
@@ -93,7 +93,7 @@ TEST_P(BackendRoundTrip, BoundHoldsAtEveryFidelityAndGuaranteeIsMonotone) {
     prev_guarantee = st.guaranteed_error;
     prev_bytes = st.bytes_total;
   }
-  auto full = reader.request_full();
+  auto full = reader.retrieve(Request::full());
   EXPECT_LE(full.guaranteed_error, eb * (1 + 1e-12));
   EXPECT_LE(linf(field.const_view(), reader.data()), eb * (1 + 1e-9));
   EXPECT_LE(full.bytes_total, src.total_size());
@@ -125,10 +125,10 @@ TEST(WaveletBackend, FloatRoundTripWithinBound) {
   MemorySource src(compress(field.const_view(), opt));
   ProgressiveReader<float> reader(src);
   const double eb = reader.header().eb;
-  auto coarse = reader.request_error_bound(100 * eb);
+  auto coarse = reader.retrieve(Request::error_bound(100 * eb));
   EXPECT_LE(linf(field.const_view(), reader.data()),
             coarse.guaranteed_error * (1 + 1e-6));
-  reader.request_full();
+  reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), eb * (1 + 1e-6));
 }
 
@@ -144,9 +144,9 @@ TEST(WaveletBackend, StepwiseEndsIdenticalToOneShot) {
   MemorySource a{Bytes(archive)}, b{Bytes(archive)};
   ProgressiveReader<double> stepwise(a), oneshot(b);
   const double eb = stepwise.header().eb;
-  for (double f : {1e5, 1e3, 1e1}) stepwise.request_error_bound(f * eb);
-  stepwise.request_full();
-  oneshot.request_full();
+  for (double f : {1e5, 1e3, 1e1}) stepwise.retrieve(Request::error_bound(f * eb));
+  stepwise.retrieve(Request::full());
+  oneshot.retrieve(Request::full());
   EXPECT_EQ(stepwise.data(), oneshot.data());
 }
 
@@ -162,7 +162,7 @@ TEST(WaveletBackend, RegionRetrievalReadsOnlyIntersectingBlocks) {
   ProgressiveReader<double> reader(src);
   const double eb = reader.header().eb;
   std::array<std::size_t, kMaxRank> lo{4, 4, 4}, hi{20, 18, 12};
-  auto st = reader.request_region(lo, hi);
+  auto st = reader.retrieve(Request::full().within(lo, hi));
   EXPECT_LT(st.bytes_total, total / 2) << "region read should skip blocks";
   EXPECT_DOUBLE_EQ(st.guaranteed_error, eb);
   double worst = 0.0;
@@ -188,7 +188,7 @@ TEST(WaveletBackend, NonFiniteValuesSurviveRoundTrip) {
   opt.error_bound = 1e-6;
   MemorySource src(compress(field.const_view(), opt));
   ProgressiveReader<double> reader(src);
-  reader.request_full();
+  reader.retrieve(Request::full());
   const double eb = reader.header().eb;
   for (std::size_t i = 0; i < field.count(); ++i) {
     if (std::isnan(field[i])) {

@@ -59,7 +59,7 @@ TEST(BlockGridTest, HugeBlockSideDoesNotOverflowToZeroBlocks) {
   Bytes archive = compress(field.const_view(), opt);
   MemorySource src(std::move(archive));
   ProgressiveReader<double> reader(src);
-  reader.request_full();
+  reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-5 * (1 + 1e-9));
 }
 
@@ -99,7 +99,7 @@ TEST_P(BlockRoundTrip, FullRetrievalWithinErrorBound) {
 
   MemorySource src(std::move(archive));
   ProgressiveReader<double> reader(src);
-  auto st = reader.request_full();
+  auto st = reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), c.eb * (1 + 1e-9));
   EXPECT_LE(st.guaranteed_error, c.eb * (1 + 1e-9));
   EXPECT_EQ(reader.data().size(), c.dims.count());
@@ -136,7 +136,7 @@ TEST(BlocksTest, FloatBlockRoundTrip) {
   Bytes archive = compress(field.const_view(), opt);
   MemorySource src(std::move(archive));
   ProgressiveReader<float> reader(src);
-  reader.request_full();
+  reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-3 * (1 + 1e-6));
 }
 
@@ -150,7 +150,7 @@ TEST(BlocksTest, RelativeBoundResolvedOverWholeField) {
   Bytes archive = compress(field.const_view(), opt);
   MemorySource src(std::move(archive));
   ProgressiveReader<double> reader(src);
-  reader.request_full();
+  reader.retrieve(Request::full());
   EXPECT_NEAR(reader.header().eb, 1e-4 * range, 1e-12 * range);
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-4 * range * (1 + 1e-9));
 }
@@ -182,13 +182,13 @@ TEST(BlocksTest, ProgressiveRequestsHonorGuarantee) {
   MemorySource src(std::move(archive));
   ProgressiveReader<double> reader(src);
   for (double target : {1e-2, 1e-4, 1e-6}) {
-    auto st = reader.request_error_bound(target);
+    auto st = reader.retrieve(Request::error_bound(target));
     EXPECT_LE(st.guaranteed_error, target * (1 + 1e-9));
     EXPECT_LE(linf(field.const_view(), reader.data()),
               st.guaranteed_error * (1 + 1e-9))
         << "target " << target;
   }
-  reader.request_full();
+  reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-7 * (1 + 1e-9));
 }
 
@@ -240,8 +240,8 @@ TEST(BlocksTest, DecodedDataIdenticalAcrossThreadCounts) {
 #endif
     MemorySource src{Bytes(archive)};
     ProgressiveReader<double> reader(src);
-    reader.request_error_bound(1e-3);
-    reader.request_full();
+    reader.retrieve(Request::error_bound(1e-3));
+    reader.retrieve(Request::full());
     if (reference.empty()) {
       reference = reader.data();
     } else {
@@ -267,7 +267,7 @@ TEST(BlocksTest, RegionRetrievalReadsOnlyIntersectingBlocks) {
   // One interior block's worth of data out of 27 blocks.
   std::array<std::size_t, kMaxRank> lo{16, 16, 16};
   std::array<std::size_t, kMaxRank> hi{32, 32, 32};
-  auto st = reader.request_region(lo, hi);
+  auto st = reader.retrieve(Request::full().within(lo, hi));
   EXPECT_LT(st.bytes_total, total / 4);
   EXPECT_LE(st.guaranteed_error, 1e-6 * (1 + 1e-9));
 
@@ -299,7 +299,7 @@ TEST(BlocksTest, RegionSpanningBlocksThenFullRefinement) {
   // the mixed per-block states converge to the full-fidelity output.
   std::array<std::size_t, kMaxRank> lo{10, 10};
   std::array<std::size_t, kMaxRank> hi{20, 20};
-  reader.request_region(lo, hi);
+  reader.retrieve(Request::full().within(lo, hi));
   const auto strides = Dims({40, 40}).strides();
   for (std::size_t z = lo[0]; z < hi[0]; ++z) {
     for (std::size_t y = lo[1]; y < hi[1]; ++y) {
@@ -307,7 +307,7 @@ TEST(BlocksTest, RegionSpanningBlocksThenFullRefinement) {
       EXPECT_NEAR(field[i], reader.data()[i], 1e-6 * (1 + 1e-9));
     }
   }
-  reader.request_full();
+  reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-6 * (1 + 1e-9));
 }
 
@@ -322,10 +322,10 @@ TEST(BlocksTest, PartialRequestThenRegionGoesToFullFidelity) {
   MemorySource src(std::move(archive));
   ProgressiveReader<double> reader(src);
 
-  reader.request_error_bound(1e-3);  // coarse everywhere
+  reader.retrieve(Request::error_bound(1e-3));  // coarse everywhere
   std::array<std::size_t, kMaxRank> lo{0, 0};
   std::array<std::size_t, kMaxRank> hi{16, 16};
-  auto st = reader.request_region(lo, hi);  // block 0 refined to full
+  auto st = reader.retrieve(Request::full().within(lo, hi));  // block 0 refined to full
   EXPECT_LE(st.guaranteed_error, 1e-7 * (1 + 1e-9));
   for (std::size_t z = 0; z < 16; ++z) {
     for (std::size_t y = 0; y < 16; ++y) {
@@ -345,7 +345,7 @@ TEST(BlocksTest, RegionOnWholeFieldArchiveEqualsFull) {
   ProgressiveReader<double> reader(src);
   std::array<std::size_t, kMaxRank> lo{0, 0};
   std::array<std::size_t, kMaxRank> hi{8, 8};
-  reader.request_region(lo, hi);
+  reader.retrieve(Request::full().within(lo, hi));
   // The single block spans the field, so everything is loaded.
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-5 * (1 + 1e-9));
 }
@@ -359,10 +359,10 @@ TEST(BlocksTest, BadRegionBoundsRejected) {
   ProgressiveReader<double> reader(src);
   std::array<std::size_t, kMaxRank> lo{0, 8};
   std::array<std::size_t, kMaxRank> hi{8, 8};  // empty in dim 1
-  EXPECT_THROW(reader.request_region(lo, hi), std::invalid_argument);
+  EXPECT_THROW(reader.retrieve(Request::full().within(lo, hi)), std::invalid_argument);
   hi = {8, 17};  // out of range in dim 1
   lo = {0, 0};
-  EXPECT_THROW(reader.request_region(lo, hi), std::invalid_argument);
+  EXPECT_THROW(reader.retrieve(Request::full().within(lo, hi)), std::invalid_argument);
 }
 
 // ---- forged block tables -------------------------------------------------
@@ -455,7 +455,7 @@ TEST(BlocksForged, MissingBlockSegmentRejected) {
   }
   MemorySource src(forged.finish());
   ProgressiveReader<double> reader(src);
-  EXPECT_THROW(reader.request_full(), std::runtime_error);
+  EXPECT_THROW(reader.retrieve(Request::full()), std::runtime_error);
 }
 
 TEST(BlocksForged, DuplicateSegmentKeyRejected) {

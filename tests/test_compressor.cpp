@@ -29,7 +29,7 @@ TEST_P(CompressorRoundTrip, FullRetrievalWithinErrorBound) {
 
   MemorySource src(std::move(archive));
   ProgressiveReader<double> reader(src);
-  auto st = reader.request_full();
+  auto st = reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), c.eb * (1 + 1e-9));
   EXPECT_LE(st.guaranteed_error, c.eb * (1 + 1e-9));
   EXPECT_EQ(reader.data().size(), c.dims.count());
@@ -68,7 +68,7 @@ TEST(Compressor, RelativeErrorBound) {
   Bytes archive = compress(field.const_view(), opt);
   MemorySource src(std::move(archive));
   ProgressiveReader<double> reader(src);
-  reader.request_full();
+  reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-4 * range * (1 + 1e-9));
   EXPECT_NEAR(reader.header().eb, 1e-4 * range, 1e-12 * range);
 }
@@ -113,7 +113,7 @@ TEST(Compressor, FloatInput) {
   Bytes archive = compress(field.const_view(), opt);
   MemorySource src(std::move(archive));
   ProgressiveReader<float> reader(src);
-  reader.request_full();
+  reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-3 * (1 + 1e-6));
 }
 
@@ -133,7 +133,7 @@ TEST(Compressor, ConstantField) {
   EXPECT_LT(archive.size(), 2000u);  // nearly nothing to store
   MemorySource src(std::move(archive));
   ProgressiveReader<double> reader(src);
-  reader.request_full();
+  reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-6);
 }
 
@@ -147,7 +147,7 @@ TEST(Compressor, ExtremeValuesBecomeOutliers) {
   Bytes archive = compress(field.const_view(), opt);
   MemorySource src(std::move(archive));
   ProgressiveReader<double> reader(src);
-  reader.request_full();
+  reader.retrieve(Request::full());
   // Outliers are stored exactly.
   EXPECT_EQ(reader.data()[100], 1e18);
   EXPECT_EQ(reader.data()[500], -1e18);
@@ -249,7 +249,7 @@ TEST(Compressor, PrefixBitsVariantsRoundTrip) {
     Bytes archive = compress(field.const_view(), opt);
     MemorySource src(std::move(archive));
     ProgressiveReader<double> reader(src);
-    reader.request_full();
+    reader.retrieve(Request::full());
     double range = testutil::value_range(field.const_view());
     EXPECT_LE(linf(field.const_view(), reader.data()), 1e-4 * range * (1 + 1e-9))
         << "prefix=" << prefix;
@@ -266,7 +266,7 @@ TEST(Compressor, FileBackedArchive) {
 
   FileSource src(path);
   ProgressiveReader<double> reader(src);
-  reader.request_full();
+  reader.retrieve(Request::full());
   double range = testutil::value_range(field.const_view());
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-5 * range * (1 + 1e-9));
   std::remove(path.c_str());

@@ -105,7 +105,7 @@ TEST(Concurrency, ConcurrentCompressIndependentFields) {
     ASSERT_EQ(raced[t], jobs[t].serial) << "thread " << t;
     MemorySource src{Bytes(raced[t])};
     ProgressiveReader<double> reader(src);
-    reader.request_full();
+    reader.retrieve(Request::full());
     EXPECT_LE(linf(jobs[t].field.const_view(), reader.data()),
               reader.header().eb * (1 + 1e-9));
   }
@@ -147,7 +147,7 @@ void shared_archive_mixed_traffic(bool through_file) {
     ProgressiveReader<double> reader(*src);
     // Mixed traffic, shape varying by thread id.
     if (t % 2 == 0) {
-      auto st = reader.request_error_bound(1e-2);
+      auto st = reader.retrieve(Request::error_bound(1e-2));
       ASSERT_LE(linf(field.const_view(), reader.data()),
                 st.guaranteed_error * (1 + 1e-9));
     }
@@ -155,8 +155,8 @@ void shared_archive_mixed_traffic(bool through_file) {
       reader.execute(reader.plan(
           Request::error_bound(1e-4).within({0, 0, 0}, {12, 12, 12})));
     }
-    if (t % 3 == 1) reader.request_bytes(2000);
-    reader.request_full();
+    if (t % 3 == 1) reader.retrieve(Request::bytes(2000));
+    reader.retrieve(Request::full());
     result[t] = reader.data();
   });
   for (int t = 0; t < kThreads; ++t) {
@@ -186,10 +186,10 @@ TEST(Concurrency, ConcurrentPlanCallsOnOneReaderStayPure) {
   MemorySource src{compress(field.const_view(), opt)};
   ProgressiveReader<double> reader(src);
   // Advance to a mid-fidelity resident set first, so plans are non-trivial.
-  reader.request_error_bound(1e-2);
+  reader.retrieve(Request::error_bound(1e-2));
 
   const std::vector<double> data_before = reader.data();
-  const std::size_t bytes_before = src.bytes_read();
+  const std::size_t bytes_before = src.stats().bytes_read;
 
   const Request requests[] = {
       Request::error_bound(1e-3),
@@ -218,7 +218,7 @@ TEST(Concurrency, ConcurrentPlanCallsOnOneReaderStayPure) {
   });
 
   EXPECT_EQ(reader.data(), data_before);
-  EXPECT_EQ(src.bytes_read(), bytes_before);
+  EXPECT_EQ(src.stats().bytes_read, bytes_before);
   // The reader did not advance: the reference plans are still executable.
   RetrievalStats st = reader.execute(reference[0]);
   EXPECT_EQ(st.bytes_new, reference[0].bytes_new);

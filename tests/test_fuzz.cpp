@@ -75,10 +75,10 @@ TEST_P(FuzzSeeds, IpcompRandomShapesAndContent) {
     const double eb = reader.header().eb;
     // Random partial request then full: both guarantees must hold.
     const double target = eb * std::pow(4.0, static_cast<double>(rng.uniform_u64(8)));
-    auto st = reader.request_error_bound(target);
+    auto st = reader.retrieve(Request::error_bound(target));
     EXPECT_LE(linf(field.const_view(), reader.data()), st.guaranteed_error * (1 + 1e-9))
         << "dims " << dims.to_string() << " style " << style;
-    reader.request_full();
+    reader.retrieve(Request::full());
     EXPECT_LE(linf(field.const_view(), reader.data()), eb * (1 + 1e-9))
         << "dims " << dims.to_string() << " style " << style;
   }
@@ -118,8 +118,8 @@ bool try_read_archive(Bytes bytes) {
   try {
     MemorySource src(std::move(bytes));
     ProgressiveReader<double> reader(src);
-    reader.request_error_bound(reader.header().eb * 16);
-    reader.request_full();
+    reader.retrieve(Request::error_bound(reader.header().eb * 16));
+    reader.retrieve(Request::full());
     return true;
   } catch (const std::exception&) {
     // Every rejection path must surface as a std::exception subclass;

@@ -65,9 +65,9 @@ NdArray<T> golden_field(const Dims& dims, std::uint64_t seed) {
 
 struct GoldenHashes {
   std::uint64_t archive;
-  std::uint64_t coarse;  // after request_error_bound(1e3 * eb)
-  std::uint64_t mid;     // after request_error_bound(8 * eb)
-  std::uint64_t full;    // after request_full()
+  std::uint64_t coarse;  // after retrieve(Request::error_bound(1e3 * eb))
+  std::uint64_t mid;     // after retrieve(Request::error_bound(8 * eb))
+  std::uint64_t full;    // after retrieve(Request::full())
 };
 
 template <typename T>
@@ -86,11 +86,11 @@ GoldenHashes run_case(const Dims& dims, BackendId be, std::size_t block_side,
   MemorySource src{Bytes(archive)};
   ProgressiveReader<T> reader(src);
   const double eb = reader.compression_eb();
-  reader.request_error_bound(1e3 * eb);
+  reader.retrieve(Request::error_bound(1e3 * eb));
   g.coarse = hash_values(reader.data());
-  reader.request_error_bound(8 * eb);
+  reader.retrieve(Request::error_bound(8 * eb));
   g.mid = hash_values(reader.data());
-  reader.request_full();
+  reader.retrieve(Request::full());
   g.full = hash_values(reader.data());
   return g;
 }
@@ -176,7 +176,7 @@ TEST(Golden, InterpV2Region) {
   for (int i = 0; i < 3; ++i) hi[i] = 20;
   reader.execute(reader.plan(Request::error_bound(16 * eb).within(lo, hi)));
   const std::uint64_t h_region = hash_values(reader.data());
-  reader.request_full();
+  reader.retrieve(Request::full());
   const std::uint64_t h_full = hash_values(reader.data());
   if (print_mode()) {
     std::printf("  // region: {region, full}\n  {0x%016llxull, 0x%016llxull},\n",

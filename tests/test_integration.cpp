@@ -33,12 +33,12 @@ TEST_P(DatasetPipeline, IpcompFullCycleOnRealisticData) {
   ProgressiveReader<double> reader(src);
   // Sweep through fidelities; every guarantee must hold on every dataset.
   for (double rel : {1e-2, 1e-4, 1e-6}) {
-    auto st = reader.request_error_bound(rel * range);
+    auto st = reader.retrieve(Request::error_bound(rel * range));
     EXPECT_LE(linf(data.const_view(), reader.data()), rel * range * (1 + 1e-9))
         << spec.name << " rel " << rel;
     EXPECT_LE(st.guaranteed_error, rel * range * (1 + 1e-9));
   }
-  reader.request_full();
+  reader.retrieve(Request::full());
   EXPECT_LE(linf(data.const_view(), reader.data()), 1e-7 * range * (1 + 1e-9));
 }
 
@@ -89,7 +89,7 @@ TEST(Determinism, RetrievalIsDeterministic) {
   for (int run = 0; run < 2; ++run) {
     MemorySource src{Bytes(archive)};
     ProgressiveReader<double> reader(src);
-    reader.request_error_bound(1e-4);
+    reader.retrieve(Request::error_bound(1e-4));
     if (run == 0) {
       first = reader.data();
     } else {
@@ -108,7 +108,7 @@ TEST(Robustness, TruncatedArchiveThrows) {
       {
         MemorySource src(std::move(cut));
         ProgressiveReader<double> reader(src);
-        reader.request_full();
+        reader.retrieve(Request::full());
       },
       std::runtime_error);
 }

@@ -35,7 +35,7 @@ TEST_P(ProgressiveErrorBound, GuaranteeHoldsAcrossTargets) {
     ReaderConfig cfg;
     cfg.error_model = model;
     ProgressiveReader<double> reader(src, cfg);
-    auto st = reader.request_error_bound(target);
+    auto st = reader.retrieve(Request::error_bound(target));
     double actual = linf(field.const_view(), reader.data());
     EXPECT_LE(st.guaranteed_error, target * (1 + 1e-9)) << "target " << target;
     if (model == ErrorModel::kConservative) {
@@ -73,14 +73,14 @@ TEST_P(ProgressiveErrorBound, LooserTargetsLoadLess) {
     ReaderConfig cfg;
     cfg.error_model = model;
     ProgressiveReader<double> reader(src, cfg);
-    auto st = reader.request_error_bound(target);
+    auto st = reader.retrieve(Request::error_bound(target));
     EXPECT_LE(st.bytes_total, prev_bytes);
     prev_bytes = st.bytes_total;
   }
   // The loosest target should load dramatically less than everything.
   MemorySource full_src{Bytes(archive)};
   ProgressiveReader<double> full_reader(full_src);
-  auto full = full_reader.request_full();
+  auto full = full_reader.retrieve(Request::full());
   EXPECT_LT(prev_bytes, full.bytes_total / 2);
 }
 
@@ -107,11 +107,11 @@ TEST(ProgressiveIncrement, RefinementMatchesFromScratch) {
   MemorySource inc_src{Bytes(archive)};
   ProgressiveReader<double> inc(inc_src);
   for (double t : targets) {
-    inc.request_error_bound(t);
+    inc.retrieve(Request::error_bound(t));
     // From-scratch reader goes straight to this target.
     MemorySource one_src{Bytes(archive)};
     ProgressiveReader<double> one(one_src);
-    one.request_error_bound(t);
+    one.retrieve(Request::error_bound(t));
     // The incremental reader may hold MORE planes (monotone refinement), so
     // compare against its own guarantee rather than bit-equality with the
     // from-scratch reader; also verify both readers obey the target.
@@ -130,12 +130,12 @@ TEST(ProgressiveIncrement, DeltaReconstructionIsNearExact) {
 
   MemorySource two_src{Bytes(archive)};
   ProgressiveReader<double> two(two_src);
-  two.request_error_bound(1e-3);
-  two.request_full();
+  two.retrieve(Request::error_bound(1e-3));
+  two.retrieve(Request::full());
 
   MemorySource one_src{Bytes(archive)};
   ProgressiveReader<double> one(one_src);
-  one.request_full();
+  one.retrieve(Request::full());
 
   const double range = testutil::value_range(field.const_view());
   EXPECT_LE(linf(one.data(), two.data()), 1e-12 * range);
@@ -147,14 +147,14 @@ TEST(ProgressiveIncrement, IncrementalLoadsOnlyNewBytes) {
 
   MemorySource inc_src{Bytes(archive)};
   ProgressiveReader<double> inc(inc_src);
-  auto s1 = inc.request_error_bound(1e-3);
-  auto s2 = inc.request_error_bound(1e-6);
+  auto s1 = inc.retrieve(Request::error_bound(1e-3));
+  auto s2 = inc.retrieve(Request::error_bound(1e-6));
   EXPECT_EQ(s2.bytes_total, s1.bytes_total + s2.bytes_new);
 
   // One-shot at the finer target.
   MemorySource one_src{Bytes(archive)};
   ProgressiveReader<double> one(one_src);
-  auto s3 = one.request_error_bound(1e-6);
+  auto s3 = one.retrieve(Request::error_bound(1e-6));
   // Incremental path cannot be dramatically worse than one-shot (it may load
   // slightly more because the coarse plan is a subset constraint).
   EXPECT_LE(s3.bytes_total, s2.bytes_total * (1 + 1e-9) + 1);
@@ -165,10 +165,10 @@ TEST(ProgressiveIncrement, RepeatRequestLoadsNothing) {
   Bytes archive = make_archive(field, 1e-7);
   MemorySource src{Bytes(archive)};
   ProgressiveReader<double> reader(src);
-  reader.request_error_bound(1e-4);
-  auto again = reader.request_error_bound(1e-4);
+  reader.retrieve(Request::error_bound(1e-4));
+  auto again = reader.retrieve(Request::error_bound(1e-4));
   EXPECT_EQ(again.bytes_new, 0u);
-  auto coarser = reader.request_error_bound(1e-2);
+  auto coarser = reader.retrieve(Request::error_bound(1e-2));
   EXPECT_EQ(coarser.bytes_new, 0u);
 }
 
@@ -182,7 +182,7 @@ TEST(ProgressiveBitrate, BudgetRespectedAndErrorShrinks) {
   for (double bitrate : {0.5, 1.0, 2.0, 4.0, 8.0}) {
     MemorySource src{Bytes(archive)};
     ProgressiveReader<double> reader(src);
-    auto st = reader.request_bitrate(bitrate);
+    auto st = reader.retrieve(Request::bitrate(bitrate));
     EXPECT_LE(st.bytes_total, static_cast<std::size_t>(bitrate * n / 8) + 1)
         << "bitrate " << bitrate;
     double actual = linf(field.const_view(), reader.data());
@@ -199,7 +199,7 @@ TEST(ProgressiveBitrate, IncrementalBitrateRefinement) {
   const std::size_t n = field.count();
   double prev_guarantee = std::numeric_limits<double>::infinity();
   for (double bitrate : {1.0, 2.0, 4.0}) {
-    auto st = reader.request_bitrate(bitrate);
+    auto st = reader.retrieve(Request::bitrate(bitrate));
     EXPECT_LE(st.bytes_total, static_cast<std::size_t>(bitrate * n / 8) + 1);
     // The *guarantee* shrinks monotonically with more planes; the pointwise
     // error may wiggle transiently (a partially-loaded negabinary value can
@@ -216,7 +216,7 @@ TEST(ProgressiveBitrate, TinyBudgetStillReconstructs) {
   Bytes archive = make_archive(field, 1e-6);
   MemorySource src{Bytes(archive)};
   ProgressiveReader<double> reader(src);
-  auto st = reader.request_bytes(0);
+  auto st = reader.retrieve(Request::bytes(0));
   // Mandatory segments always load; output exists with the guarantee bound.
   EXPECT_EQ(reader.data().size(), field.count());
   EXPECT_GT(st.bytes_total, 0u);
@@ -231,11 +231,11 @@ TEST(Progressive, RequestBelowCompressionEbLoadsEverything) {
   Bytes archive = make_archive(field, 1e-4);
   MemorySource src{Bytes(archive)};
   ProgressiveReader<double> reader(src);
-  auto st = reader.request_error_bound(1e-9);  // tighter than eb: best effort
+  auto st = reader.retrieve(Request::error_bound(1e-9));  // tighter than eb: best effort
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-4 * (1 + 1e-9));
   MemorySource full_src{Bytes(archive)};
   ProgressiveReader<double> full(full_src);
-  auto fst = full.request_full();
+  auto fst = full.retrieve(Request::full());
   EXPECT_EQ(st.bytes_total, fst.bytes_total);
 }
 
@@ -244,7 +244,7 @@ TEST(Progressive, StatsBitrateConsistent) {
   Bytes archive = make_archive(field, 1e-6);
   MemorySource src{Bytes(archive)};
   ProgressiveReader<double> reader(src);
-  auto st = reader.request_full();
+  auto st = reader.retrieve(Request::full());
   EXPECT_NEAR(st.bitrate, 8.0 * st.bytes_total / field.count(), 1e-12);
   EXPECT_EQ(st.bytes_total, reader.bytes_loaded());
 }
@@ -256,7 +256,7 @@ TEST(Progressive, GuaranteedErrorDecreasesMonotonically) {
   ProgressiveReader<double> reader(src);
   double prev = std::numeric_limits<double>::infinity();
   for (double t : {1e-2, 1e-3, 1e-4, 1e-5, 1e-6}) {
-    auto st = reader.request_error_bound(t);
+    auto st = reader.retrieve(Request::error_bound(t));
     EXPECT_LE(st.guaranteed_error, prev * (1 + 1e-12));
     prev = st.guaranteed_error;
   }
@@ -269,10 +269,10 @@ TEST(Progressive, FileBackedPartialReads) {
   write_file(path, archive);
   FileSource src(path);
   ProgressiveReader<double> reader(src);
-  auto coarse = reader.request_error_bound(1e-2);
+  auto coarse = reader.retrieve(Request::error_bound(1e-2));
   EXPECT_LT(coarse.bytes_total, archive.size() / 2);
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-2 * (1 + 1e-9));
-  auto fine = reader.request_full();
+  auto fine = reader.retrieve(Request::full());
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-8 * (1 + 1e-9));
   EXPECT_LE(fine.bytes_total, archive.size());
   std::remove(path.c_str());
@@ -287,10 +287,10 @@ TEST(Progressive, FloatArchiveProgressive) {
   Bytes archive = compress(field.const_view(), opt);
   MemorySource src(std::move(archive));
   ProgressiveReader<float> reader(src);
-  auto st = reader.request_error_bound(1e-2);
+  auto st = reader.retrieve(Request::error_bound(1e-2));
   EXPECT_LE(linf(field.const_view(), reader.data()),
             static_cast<double>(st.guaranteed_error) * (1 + 1e-5));
-  reader.request_full();
+  reader.retrieve(Request::full());
   // Incremental refinement of float32 archives rounds once per refinement
   // when the delta field is added, so allow a few ulps beyond eb.
   const double ulp_slack =

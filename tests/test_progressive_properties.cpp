@@ -34,12 +34,12 @@ TEST(ProgressiveProperties, ByteAccountingAddsUpAcrossManyRequests) {
   ProgressiveReader<double> reader(src);
   std::size_t sum = 0;
   for (double t : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7}) {
-    auto st = reader.request_error_bound(t);
+    auto st = reader.retrieve(Request::error_bound(t));
     sum += st.bytes_new;
     EXPECT_EQ(st.bytes_total, sum);
     EXPECT_EQ(reader.bytes_loaded(), sum);
   }
-  auto full = reader.request_full();
+  auto full = reader.retrieve(Request::full());
   sum += full.bytes_new;
   EXPECT_EQ(full.bytes_total, sum);
   EXPECT_LE(full.bytes_total, fx.archive.size());
@@ -50,10 +50,10 @@ TEST(ProgressiveProperties, ManySmallStepsEndAtSameStateAsOneBigStep) {
   MemorySource a_src{Bytes(fx.archive)}, b_src{Bytes(fx.archive)};
   ProgressiveReader<double> stepwise(a_src), oneshot(b_src);
   for (double t : {1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 3e-5, 1e-5}) {
-    stepwise.request_error_bound(t);
+    stepwise.retrieve(Request::error_bound(t));
   }
-  stepwise.request_full();
-  oneshot.request_full();
+  stepwise.retrieve(Request::full());
+  oneshot.retrieve(Request::full());
   // Full load ends in the identical plane state; outputs agree to rounding.
   const double range = testutil::value_range(fx.field.const_view());
   EXPECT_LE(linf(oneshot.data(), stepwise.data()), 1e-12 * range);
@@ -73,8 +73,8 @@ TEST(ProgressiveProperties, InterleavedModeRequestsStayConsistent) {
   int step = 0;
   for (auto [mode, value] : std::vector<std::pair<int, double>>{
            {0, 1e-2}, {1, 6.0}, {0, 1e-4}, {1, 14.0}, {0, 1e-6}}) {
-    RetrievalStats st = mode == 0 ? reader.request_error_bound(value)
-                                  : reader.request_bitrate(value);
+    RetrievalStats st = mode == 0 ? reader.retrieve(Request::error_bound(value))
+                                  : reader.retrieve(Request::bitrate(value));
     EXPECT_LE(st.guaranteed_error, prev_guarantee * (1 + 1e-12)) << "step " << step;
     EXPECT_LE(linf(fx.field.const_view(), reader.data()),
               st.guaranteed_error * (1 + 1e-9))
@@ -95,7 +95,7 @@ TEST(ProgressiveProperties, GuaranteeMatchesRecomputedValue) {
   Fixture fx(54);
   MemorySource src{Bytes(fx.archive)};
   ProgressiveReader<double> reader(src);
-  auto st = reader.request_error_bound(1e-4);
+  auto st = reader.retrieve(Request::error_bound(1e-4));
   EXPECT_DOUBLE_EQ(st.guaranteed_error, reader.current_guaranteed_error());
 }
 
@@ -111,11 +111,11 @@ TEST(ProgressiveProperties, TighterThresholdStillWithinBounds) {
     Bytes archive = compress(field.const_view(), opt);
     MemorySource src(std::move(archive));
     ProgressiveReader<double> reader(src);
-    auto st = reader.request_error_bound(1e-3);
+    auto st = reader.retrieve(Request::error_bound(1e-3));
     EXPECT_LE(st.guaranteed_error, 1e-3 * (1 + 1e-9)) << "threshold " << threshold;
     EXPECT_LE(linf(field.const_view(), reader.data()), 1e-3 * (1 + 1e-9))
         << "threshold " << threshold;
-    reader.request_full();
+    reader.retrieve(Request::full());
     EXPECT_LE(linf(field.const_view(), reader.data()), 1e-7 * (1 + 1e-9))
         << "threshold " << threshold;
   }
@@ -132,10 +132,10 @@ TEST(ProgressiveProperties, AllSolidArchiveRetrievesExactlyOnce) {
   Bytes archive = compress(field.const_view(), opt);
   MemorySource src(std::move(archive));
   ProgressiveReader<double> reader(src);
-  auto coarse = reader.request_error_bound(1e-1);
+  auto coarse = reader.retrieve(Request::error_bound(1e-1));
   // Everything is mandatory: the coarse request already yields full quality.
   EXPECT_LE(linf(field.const_view(), reader.data()), 1e-6 * (1 + 1e-9));
-  auto full = reader.request_full();
+  auto full = reader.retrieve(Request::full());
   EXPECT_EQ(full.bytes_new, 0u);
   EXPECT_EQ(coarse.bytes_total, full.bytes_total);
 }
