@@ -32,6 +32,8 @@
 #include "bench_common.hpp"
 #include "bitplane/bitplane.hpp"
 #include "bitplane/negabinary.hpp"
+#include "bitplane/predictive.hpp"
+#include "coding/codec.hpp"
 #include "core/compressor.hpp"
 #include "core/progressive_reader.hpp"
 #include "util/parallel.hpp"
@@ -162,12 +164,12 @@ struct BitplaneThroughput {
   double fused_encode_mbps = 0.0;
 };
 
-BitplaneThroughput bitplane_throughput(int reps, std::size_t n,
-                                       std::uint64_t seed, unsigned spread) {
-  // Negabinary codes with geometric magnitude classes; `spread` widens the
-  // tail (interp residuals are tighter than wavelet coefficients).  Classes
-  // are capped at 14 so every value stays inside negabinary_encode's
-  // documented 32-bit range (span/2 = 2^29 < kNegabinaryMax).
+/// Negabinary codes with geometric magnitude classes; `spread` widens the
+/// tail (interp residuals are tighter than wavelet coefficients).  Classes
+/// are capped at 14 so every value stays inside negabinary_encode's
+/// documented 32-bit range (span/2 = 2^29 < kNegabinaryMax).
+std::vector<std::uint32_t> synth_codes(std::size_t n, std::uint64_t seed,
+                                       unsigned spread) {
   Rng rng(seed);
   std::vector<std::uint32_t> codes(n);
   for (auto& c : codes) {
@@ -177,6 +179,12 @@ BitplaneThroughput bitplane_throughput(int reps, std::size_t n,
     c = negabinary_encode(static_cast<std::int64_t>(rng.uniform_u64(span)) -
                           static_cast<std::int64_t>(span / 2));
   }
+  return codes;
+}
+
+BitplaneThroughput bitplane_throughput(int reps, std::size_t n,
+                                       std::uint64_t seed, unsigned spread) {
+  std::vector<std::uint32_t> codes = synth_codes(n, seed, spread);
   const auto bytes = static_cast<double>(n * 4);
   BitplaneThroughput out;
   const StageResult ex = median_of(reps, n * 4, [&] {
@@ -204,6 +212,68 @@ BitplaneThroughput bitplane_throughput(int reps, std::size_t n,
   });
   out.fused_encode_mbps = mb_per_s(n * 4, en.seconds);
   return out;
+}
+
+/// Codec-orchestration census over the entropy stage: the exact per-plane
+/// byte streams append_plane_segments feeds codec_compress (fused plane
+/// split + predictive XOR, prefix 2) under both code profiles, encoded under
+/// the probe-routed policy vs the legacy try-all policy.  Records per-method
+/// routing counts, encode MB/s per policy, and the compressed-size delta.
+struct CodecCensus {
+  std::size_t segments = 0;
+  std::size_t raw_bytes = 0;
+  std::size_t method_counts[5] = {};  // indexed by CodecMethod, kProbe routing
+  std::size_t probe_bytes = 0;
+  std::size_t tryall_bytes = 0;
+  double routed_encode_mbps = 0.0;
+  double tryall_encode_mbps = 0.0;
+  double speedup = 0.0;
+  double ratio_delta_pct = 0.0;  // probe vs try-all compressed size, + = bigger
+};
+
+CodecCensus codec_census(int reps, std::size_t n) {
+  CodecCensus c;
+  std::vector<Bytes> segs;
+  for (auto [seed, spread] : {std::pair<unsigned, unsigned>{303, 12},
+                              std::pair<unsigned, unsigned>{404, 20}}) {
+    std::vector<std::uint32_t> codes = synth_codes(n, seed, spread);
+    LevelEncoding enc = encode_level(codes, /*with_loss=*/false);
+    for (unsigned k = 0; k < enc.n_planes; ++k) {
+      segs.push_back(predictive_encode_plane(codes, enc.planes[k], k,
+                                             /*prefix_bits=*/2));
+    }
+  }
+  c.segments = segs.size();
+  for (const Bytes& s : segs) c.raw_bytes += s.size();
+
+  const StageResult routed = median_of(reps, c.raw_bytes, [&] {
+    std::size_t total = 0;
+    for (const Bytes& s : segs) {
+      total += codec_compress({s.data(), s.size()}, CodecPolicy::kProbe).size();
+    }
+    c.probe_bytes = total;
+  });
+  const StageResult tryall = median_of(reps, c.raw_bytes, [&] {
+    std::size_t total = 0;
+    for (const Bytes& s : segs) {
+      total += codec_compress({s.data(), s.size()}, CodecPolicy::kTryAll).size();
+    }
+    c.tryall_bytes = total;
+  });
+  for (const Bytes& s : segs) {
+    Bytes enc = codec_compress({s.data(), s.size()}, CodecPolicy::kProbe);
+    ++c.method_counts[enc[0] < 5 ? enc[0] : 1];
+    // Routed encodes must stay lossless — decode once outside the timing.
+    Bytes dec = codec_decompress({enc.data(), enc.size()}, s.size());
+    if (dec != s) std::printf("unreachable: codec census mismatch\n");
+  }
+  c.routed_encode_mbps = routed.mb_per_s;
+  c.tryall_encode_mbps = tryall.mb_per_s;
+  c.speedup = tryall.seconds / routed.seconds;
+  c.ratio_delta_pct = 100.0 * (static_cast<double>(c.probe_bytes) /
+                                   static_cast<double>(c.tryall_bytes) -
+                               1.0);
+  return c;
 }
 
 int block_compare(const char* json_path, int reps) {
@@ -293,6 +363,10 @@ int block_compare(const char* json_path, int reps) {
   BitplaneThroughput t_interp = bitplane_throughput(reps, n_codes, 101, 12);
   BitplaneThroughput t_wavelet = bitplane_throughput(reps, n_codes, 202, 20);
 
+  // Entropy-stage orchestration: probe-routed vs try-all over the plane
+  // segments of both code profiles.
+  CodecCensus cc = codec_census(reps, n_codes);
+
   const double ratio_legacy = static_cast<double>(raw) /
                               static_cast<double>(archive_legacy.size());
   const double ratio_block = static_cast<double>(raw) /
@@ -334,7 +408,17 @@ int block_compare(const char* json_path, int reps) {
               t_interp.deposit_gbps, t_interp.fused_encode_mbps,
               t_wavelet.extract_gbps, t_wavelet.deposit_gbps,
               t_wavelet.fused_encode_mbps);
-  std::printf("(target: >=2x compression speedup at 4 threads, >=256^3)\n");
+  std::printf("codec orchestration: %zu plane segments (%.1f MB), routed"
+              " %.1f MB/s vs try-all %.1f MB/s (%.2fx), size delta %+.2f%%\n",
+              cc.segments, static_cast<double>(cc.raw_bytes) / 1.0e6,
+              cc.routed_encode_mbps, cc.tryall_encode_mbps, cc.speedup,
+              cc.ratio_delta_pct);
+  std::printf("codec routing: empty %zu, raw %zu, rle %zu, lzh %zu,"
+              " bitpack %zu\n",
+              cc.method_counts[0], cc.method_counts[1], cc.method_counts[2],
+              cc.method_counts[3], cc.method_counts[4]);
+  std::printf("(target: >=2x compression speedup at 4 threads, >=256^3;"
+              " >=1.5x routed vs try-all encode)\n");
 
   if (json_path) {
     std::FILE* f = std::fopen(json_path, "w");
@@ -360,6 +444,16 @@ int block_compare(const char* json_path, int reps) {
                  "  },\n"
                  "  \"compression_ratio\": {\"legacy\": %.4f, \"block\": %.4f},\n"
                  "  \"speedup\": {\"compress\": %.4f, \"decompress\": %.4f},\n"
+                 "  \"codec\": {\n"
+                 "    \"segments\": %zu,\n"
+                 "    \"raw_bytes\": %zu,\n"
+                 "    \"methods\": {\"empty\": %zu, \"raw\": %zu, \"rle\": %zu,"
+                 " \"lzh\": %zu, \"bitpack\": %zu},\n"
+                 "    \"routed_encode_mbps\": %.2f,\n"
+                 "    \"tryall_encode_mbps\": %.2f,\n"
+                 "    \"speedup\": %.4f,\n"
+                 "    \"ratio_delta_pct\": %.4f\n"
+                 "  },\n"
                  "  \"backends\": {\n"
                  "    \"interp\": {\n"
                  "      \"compress\": {\"seconds\": %.6f, \"mb_per_s\": %.2f},\n"
@@ -392,6 +486,10 @@ int block_compare(const char* json_path, int reps) {
                  c_block.mb_per_s, d_legacy.seconds, d_legacy.mb_per_s,
                  d_block.seconds, d_block.mb_per_s, ratio_legacy, ratio_block,
                  speedup_c, speedup_d,
+                 cc.segments, cc.raw_bytes, cc.method_counts[0],
+                 cc.method_counts[1], cc.method_counts[2], cc.method_counts[3],
+                 cc.method_counts[4], cc.routed_encode_mbps,
+                 cc.tryall_encode_mbps, cc.speedup, cc.ratio_delta_pct,
                  c_block.seconds, c_block.mb_per_s, d_block.seconds,
                  d_block.mb_per_s, ratio_block,
                  f_interp.segments, f_interp.read_calls,

@@ -2,7 +2,7 @@
 //
 //   ipc compress <input.raw> <output.ipc> --dims ZxYxX [--type f64|f32]
 //                [--eb 1e-6] [--abs] [--interp cubic|linear] [--block-side N]
-//                [--backend interp|wavelet]
+//                [--backend interp|wavelet] [--codec probe|tryall|rle]
 //   ipc retrieve <archive.ipc> <output.raw>
 //                [--eb E | --bytes N | --bitrate B | --full]
 //                [--region z0:z1xy0:y1xx0:x1] [--dry-run]
@@ -20,7 +20,10 @@
 // guaranteed error — without fetching a payload byte (the output file may be
 // omitted).  --backend selects the progressive backend (interp = the paper's
 // interpolation predictor, wavelet = CDF 9/7; wavelet archives use format
-// v3).  `serve` drives N concurrent client sessions through one shared
+// v3).  --codec picks the per-segment codec policy (probe = entropy-probed
+// routing, the default; tryall = legacy encode-both-keep-smallest, byte-
+// identical to pre-orchestration archives; rle = cheapest encode stage).
+// `serve` drives N concurrent client sessions through one shared
 // ArchiveSet (segment LRU cache + pooled I/O) and reports throughput, cache
 // hit rate and physical-vs-logical I/O; --quota caps each session's bytes
 // and counts plan-admission rejections.  Unknown flags and malformed values
@@ -52,7 +55,7 @@ using namespace ipcomp;
       "usage:\n"
       "  ipc compress <input.raw> <output.ipc> --dims ZxYxX [--type f64|f32]\n"
       "               [--eb 1e-6] [--abs] [--interp cubic|linear] [--block-side N]\n"
-      "               [--backend interp|wavelet]\n"
+      "               [--backend interp|wavelet] [--codec probe|tryall|rle]\n"
       "  ipc retrieve <archive.ipc> <output.raw>\n"
       "               [--eb E | --bytes N | --bitrate B | --full]\n"
       "               [--region z0:z1xy0:y1xx0:x1] [--dry-run]\n"
@@ -223,6 +226,17 @@ int do_compress(const Args& a) {
   }
   opt.block_side =
       a.get("block-side") ? parse_size(*a.get("block-side"), "block-side") : 0;
+  if (auto codec = a.get("codec")) {
+    if (*codec == "probe") {
+      opt.codec = CodecPolicy::kProbe;
+    } else if (*codec == "tryall") {
+      opt.codec = CodecPolicy::kTryAll;
+    } else if (*codec == "rle") {
+      opt.codec = CodecPolicy::kRle;
+    } else {
+      usage("unknown codec policy '" + *codec + "' (probe|tryall|rle)");
+    }
+  }
   Bytes archive = compress(NdConstView<T>(values.data(), dims), opt);
   write_file(a.positional[1], archive);
 
@@ -465,7 +479,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "compress") {
       args.allow_only({"dims", "type", "eb", "abs", "interp", "block-side",
-                       "backend"});
+                       "backend", "codec"});
       if (args.positional.size() != 2 || !args.get("dims")) usage();
       return f32 ? do_compress<float>(args) : do_compress<double>(args);
     }

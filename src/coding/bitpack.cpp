@@ -1,0 +1,105 @@
+#include "coding/bitpack.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace ipcomp {
+
+namespace {
+
+/// Encode one chunk's gap varints into `w` (no length prefix).  Positions
+/// are bit offsets relative to `chunk[0]`; the first gap is the absolute
+/// in-chunk position, every later gap is (position - previous - 1).
+void encode_chunk(std::span<const std::uint8_t> chunk, ByteWriter& w) {
+  const std::size_t n = chunk.size();
+  std::uint64_t prev_plus_1 = 0;  // previous position + 1 (0: none yet)
+  std::size_t i = 0;
+  while (i < n) {
+    std::uint64_t word;
+    if (i + 8 <= n) {
+      std::memcpy(&word, chunk.data() + i, 8);
+    } else {
+      word = 0;
+      std::memcpy(&word, chunk.data() + i, n - i);
+    }
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+      const std::uint64_t pos = static_cast<std::uint64_t>(i) * 8 + bit;
+      w.varint(pos - prev_plus_1);
+      prev_plus_1 = pos + 1;
+      word &= word - 1;
+    }
+    i += 8;
+  }
+}
+
+}  // namespace
+
+Bytes bitpack_encode(std::span<const std::uint8_t> input) {
+  if (input.empty()) return {};
+  const std::size_t n_chunks =
+      (input.size() + kBitpackChunkBytes - 1) / kBitpackChunkBytes;
+  std::vector<Bytes> chunks(n_chunks);
+  // Fixed chunk boundaries: the concatenated output never depends on how
+  // parallel_chunks splits the work across threads.
+  parallel_chunks(0, input.size(), kBitpackChunkBytes,
+                  [&](std::size_t lo, std::size_t hi) {
+                    ByteWriter w;
+                    encode_chunk(input.subspan(lo, hi - lo), w);
+                    chunks[lo / kBitpackChunkBytes] = w.take();
+                  });
+  ByteWriter out;
+  for (const Bytes& c : chunks) {
+    out.varint(c.size());
+    out.bytes(c);
+  }
+  return out.take();
+}
+
+Bytes bitpack_decode(std::span<const std::uint8_t> input,
+                     std::size_t output_size) {
+  Bytes out(output_size, 0);
+  if (output_size == 0) {
+    if (!input.empty()) throw std::runtime_error("bitpack: trailing bytes");
+    return out;
+  }
+  const std::size_t n_chunks =
+      (output_size + kBitpackChunkBytes - 1) / kBitpackChunkBytes;
+
+  // Pass 1 (serial, cheap): slice the stream into per-chunk payloads so the
+  // bit-setting pass can run per chunk.  ByteReader throws on truncation.
+  ByteReader r(input);
+  std::vector<std::span<const std::uint8_t>> payload(n_chunks);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    payload[c] = r.bytes(r.varint());
+  }
+  if (r.remaining() != 0) throw std::runtime_error("bitpack: trailing bytes");
+
+  // Pass 2: decode chunks (disjoint output ranges) concurrently; strict
+  // validation — every gap must land inside the chunk and the payload must
+  // be consumed exactly.
+  parallel_for_ex(0, n_chunks, [&](std::size_t c) {
+    const std::size_t lo = c * kBitpackChunkBytes;
+    const std::size_t chunk_bytes =
+        std::min(kBitpackChunkBytes, output_size - lo);
+    const std::uint64_t chunk_bits = static_cast<std::uint64_t>(chunk_bytes) * 8;
+    ByteReader cr(payload[c]);
+    std::uint8_t* dst = out.data() + lo;
+    std::uint64_t prev_plus_1 = 0;
+    while (cr.remaining() != 0) {
+      const std::uint64_t pos = prev_plus_1 + cr.varint();
+      if (pos >= chunk_bits) {
+        throw std::runtime_error("bitpack: position out of range");
+      }
+      dst[pos >> 3] |= static_cast<std::uint8_t>(1u << (pos & 7));
+      prev_plus_1 = pos + 1;
+    }
+  }, /*grain=*/1);
+  return out;
+}
+
+}  // namespace ipcomp

@@ -1,0 +1,41 @@
+// Bitpacked sparse-index codec for near-empty bitplane segments.
+//
+// High bitplanes of predictive-coded residuals are almost entirely zero with
+// a few isolated set bits; zero-run RLE spends two bytes per set bit and a
+// byte-granular scan to find them.  This codec instead stores the positions
+// of the set bits directly — varint-coded gaps between consecutive set bits —
+// so encoding is a 64-bit-word scan (whole zero words skipped, set bits
+// popped with countr_zero) and the output costs ~1 byte per set bit at the
+// densities it is routed (see coding/codec.hpp's routing table).
+//
+// The stream is chunked: the input is cut into fixed kBitpackChunkBytes
+// chunks, each encoded independently as varint(payload bytes) + gap varints
+// (positions are chunk-relative).  Fixed chunk boundaries keep the output
+// byte-identical regardless of thread count (encoding fans out through
+// parallel_chunks) and let decode validate every chunk strictly: a payload that
+// ends mid-varint, names a position past the chunk, or leaves unread bytes is
+// rejected, so truncated or forged payloads throw instead of decoding.
+#pragma once
+
+#include <span>
+
+#include "io/bytes.hpp"
+
+namespace ipcomp {
+
+/// Chunk granularity of the bitpack stream (64 KiB: big enough that the
+/// per-chunk length varint is noise, small enough to fan out).
+inline constexpr std::size_t kBitpackChunkBytes = std::size_t{1} << 16;
+
+/// Encode the set-bit positions of `input`.  Deterministic for any thread
+/// count; the caller (codec_compress) is responsible for only routing inputs
+/// sparse enough that this beats raw storage.
+Bytes bitpack_encode(std::span<const std::uint8_t> input);
+
+/// Inverse of bitpack_encode; `output_size` is the decoded byte count.
+/// Throws std::runtime_error on truncated, oversized or out-of-range
+/// payloads (forged archives must never crash).
+Bytes bitpack_decode(std::span<const std::uint8_t> input,
+                     std::size_t output_size);
+
+}  // namespace ipcomp

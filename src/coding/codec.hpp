@@ -1,9 +1,35 @@
-// Per-segment codec selection.
+// Per-segment codec orchestration.
 //
-// Every archive segment is independently compressed with the cheapest of a
-// small family of methods; a one-byte tag records the choice.  The caller
-// always knows the decoded size (plane sizes are derivable from the header),
-// so methods need not embed it.
+// Every archive segment is independently compressed by one of a small family
+// of methods; a one-byte tag records the choice, so the segment format is
+// self-describing and adding a method never changes the container.  The
+// caller always knows the decoded size (plane sizes are derivable from the
+// header), so methods need not embed it.
+//
+// How the method is chosen is the codec *policy*:
+//
+//   * kProbe (default) — entropy-probed routing.  One word-parallel pass
+//     measures the segment (set-bit count, nonzero bytes; byte entropy only
+//     when the cheap counters are inconclusive) and routes it to the one
+//     codec that fits its shape — no speculative encodes:
+//
+//       all bits zero                          -> kEmpty    (1 byte)
+//       sparse isolated bits (see thresholds)  -> kBitpack  (gap varints)
+//       zero bytes dominate                    -> kRle      (zero runs)
+//       near-random bytes (entropy >= cutoff)  -> kRaw      (stored)
+//       otherwise structured                   -> kLzh      (LZ77+Huffman)
+//
+//     A routed encode that fails to beat raw storage still falls back to
+//     kRaw, so the output is never more than one tag byte over the input.
+//   * kTryAll — the legacy strategy: encode with RLE *and* LZ77+Huffman and
+//     keep the smallest of those and raw.  Byte-identical to the archives
+//     written before the orchestrated stage existed (golden-pinned); pays
+//     two full encodes per segment.
+//   * kRle — legacy `try_lzh = false`: zero-run RLE versus raw only, for
+//     callers that want the cheapest possible encode stage.
+//
+// Decoding is policy-independent: the tag alone selects the method, so every
+// policy (and every archive ever written) decodes through the same switch.
 #pragma once
 
 #include <span>
@@ -13,17 +39,68 @@
 namespace ipcomp {
 
 enum class CodecMethod : std::uint8_t {
-  kEmpty = 0,  // all zero bytes: payload is empty
-  kRaw = 1,    // stored verbatim
-  kRle = 2,    // zero-run RLE
-  kLzh = 3,    // LZ77 + Huffman
+  kEmpty = 0,    // all zero bytes: payload is empty
+  kRaw = 1,      // stored verbatim
+  kRle = 2,      // zero-run RLE
+  kLzh = 3,      // LZ77 + Huffman
+  kBitpack = 4,  // varint gaps between set bits (coding/bitpack.hpp)
 };
 
-/// Compress with whichever method yields the smallest output.
-/// Set `try_lzh = false` for tiny inputs where LZ77 setup cost dominates.
-Bytes codec_compress(std::span<const std::uint8_t> input, bool try_lzh = true);
+/// How codec_compress picks a CodecMethod per segment (see file comment).
+enum class CodecPolicy : std::uint8_t {
+  kProbe = 0,   // entropy-probed routing, one encode per segment (default)
+  kTryAll = 1,  // legacy: RLE and LZH both encoded, smallest kept
+  kRle = 2,     // legacy try_lzh = false: RLE versus raw only
+};
+
+const char* to_string(CodecPolicy policy);
+const char* to_string(CodecMethod method);
+bool codec_policy_known(std::uint8_t id);
+
+// ---- probe thresholds (README "Codec orchestration" routing table) -------
+
+/// Route to kBitpack when set bits are rarer than 1 in kBitpackMaxDensity
+/// bits AND mostly isolated (<= kBitpackMaxBitsPerByte per nonzero byte —
+/// clustered bits pack 8-per-byte and belong to the byte-granular codecs).
+inline constexpr std::size_t kBitpackMaxDensity = 32;
+inline constexpr std::size_t kBitpackMaxBitsPerByte = 2;
+/// Route to kRle when at least (kRleZeroByteNum/kRleZeroByteDen) of the
+/// bytes are zero: RLE costs ~2 bytes per nonzero byte, so past this point
+/// LZ77's edge on the residue cannot recoup its per-block setup.  Below it,
+/// fall through to the entropy branch (structured residue still goes LZH).
+inline constexpr std::size_t kRleZeroByteNum = 7;
+inline constexpr std::size_t kRleZeroByteDen = 8;
+/// Dense segments at or above this byte entropy (bits/byte) are effectively
+/// incompressible residual noise: store raw instead of running LZ77 just to
+/// fall back.  Below it, structure remains and LZH earns its cost.
+inline constexpr double kRawEntropyBits = 7.6;
+/// LZ77 setup cost dominates under this size; short structured segments
+/// route to RLE instead (matches the legacy `input.size() >= 64` gate).
+inline constexpr std::size_t kLzhMinBytes = 64;
+
+/// One word-parallel measurement pass over a segment: everything the router
+/// needs except the (lazily computed) byte entropy.
+struct CodecProbe {
+  std::size_t bits = 0;           // input.size() * 8
+  std::size_t ones = 0;           // set bits
+  std::size_t nonzero_bytes = 0;  // bytes with any bit set
+};
+
+CodecProbe codec_probe(std::span<const std::uint8_t> input);
+
+/// The kProbe routing decision for a measured segment (byte entropy is
+/// computed here only when the dense branch needs it).  Exposed for tests
+/// and the routing-census benchmarks.
+CodecMethod codec_route(const CodecProbe& probe,
+                        std::span<const std::uint8_t> input);
+
+/// Compress under `policy`; the chosen method's tag leads the output.
+Bytes codec_compress(std::span<const std::uint8_t> input,
+                     CodecPolicy policy = CodecPolicy::kProbe);
 
 /// Inverse of codec_compress; `output_size` is the decoded byte count.
+/// Policy-independent: dispatches on the tag byte and rejects unknown tags,
+/// so archives written under any policy (or before policies existed) decode.
 Bytes codec_decompress(std::span<const std::uint8_t> input, std::size_t output_size);
 
 }  // namespace ipcomp

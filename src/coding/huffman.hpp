@@ -37,6 +37,17 @@ class HuffmanEncoder {
     bw.put_bits(reversed_code_[symbol], length_[symbol]);
   }
 
+  /// Fused emission of a code and its raw extra bits as one put_bits call:
+  /// code (<= kHuffmanMaxLen bits) in the low bits, extras above it.  The
+  /// stream is LSB-first, so this is bit-identical to encode() followed by
+  /// put_bits(extra, extra_bits) — one accumulator round-trip instead of two.
+  /// Requires length(symbol) + extra_bits <= 64.
+  void encode_with_extra(BitWriter& bw, std::uint32_t symbol,
+                         std::uint64_t extra, unsigned extra_bits) const {
+    const unsigned len = length_[symbol];
+    bw.put_bits(reversed_code_[symbol] | (extra << len), len + extra_bits);
+  }
+
   unsigned length(std::uint32_t symbol) const { return length_[symbol]; }
 
   /// Total encoded bit count for a histogram (for cost estimation).

@@ -162,11 +162,9 @@ Bytes compress_block(std::span<const std::uint8_t> in) {
     } else {
       std::uint32_t len_v = t.literal_or_len - 256 - kMinMatch;
       Bucket lb = bucketize(len_v);
-      lit_enc.encode(bw, 256 + lb.symbol);
-      bw.put_bits(lb.extra_value, lb.extra_bits);
+      lit_enc.encode_with_extra(bw, 256 + lb.symbol, lb.extra_value, lb.extra_bits);
       Bucket db = bucketize(t.distance - 1);
-      dist_enc.encode(bw, db.symbol);
-      bw.put_bits(db.extra_value, db.extra_bits);
+      dist_enc.encode_with_extra(bw, db.symbol, db.extra_value, db.extra_bits);
     }
   }
   Bytes bits = bw.finish();

@@ -1,18 +1,40 @@
 #include "coding/rle.hpp"
 
+#include <bit>
+#include <cstring>
 #include <stdexcept>
 
 namespace ipcomp {
+
+namespace {
+
+/// First position >= `pos` holding a nonzero byte (or n).  Whole zero words
+/// are skipped 8 bytes at a time; the first nonzero byte inside a word is
+/// located with a trailing-zero count on the little-endian load.
+std::size_t scan_zero_run(std::span<const std::uint8_t> input, std::size_t pos) {
+  const std::size_t n = input.size();
+  while (pos + 8 <= n) {
+    std::uint64_t w;
+    std::memcpy(&w, input.data() + pos, 8);
+    if (w != 0) {
+      return pos + static_cast<std::size_t>(std::countr_zero(w)) / 8;
+    }
+    pos += 8;
+  }
+  while (pos < n && input[pos] == 0) ++pos;
+  return pos;
+}
+
+}  // namespace
 
 Bytes rle_encode(std::span<const std::uint8_t> input) {
   ByteWriter w(input.size() / 4 + 16);
   std::size_t pos = 0;
   const std::size_t n = input.size();
   while (pos < n) {
-    std::size_t run = 0;
-    while (pos + run < n && input[pos + run] == 0) ++run;
-    w.varint(run);
-    pos += run;
+    const std::size_t next = scan_zero_run(input, pos);
+    w.varint(next - pos);
+    pos = next;
     if (pos < n) {
       w.u8(input[pos]);
       ++pos;

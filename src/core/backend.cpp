@@ -57,7 +57,7 @@ const ProgressiveBackend* backend_by_name(const std::string& name) {
 }
 
 Bytes serialize_base_segment(const LevelScratch& ls, bool progressive,
-                             bool try_lzh) {
+                             CodecPolicy codec) {
   ByteWriter w;
   w.varint(ls.outliers.size());
   std::uint64_t prev = 0;
@@ -76,7 +76,7 @@ Bytes serialize_base_segment(const LevelScratch& ls, bool progressive,
       raw[4 * i + 2] = static_cast<std::uint8_t>(c >> 16);
       raw[4 * i + 3] = static_cast<std::uint8_t>(c >> 24);
     }
-    Bytes packed = codec_compress({raw.data(), raw.size()}, try_lzh);
+    Bytes packed = codec_compress({raw.data(), raw.size()}, codec);
     w.varint(packed.size());
     w.bytes(packed);
   }
@@ -97,7 +97,7 @@ void append_plane_segments(const std::vector<std::uint32_t>& codes,
                         : predictive_encode_plane(codes, planes[k],
                                                   static_cast<unsigned>(k),
                                                   opt.prefix_bits);
-    packed[k] = codec_compress({encoded.data(), encoded.size()}, opt.try_lzh);
+    packed[k] = codec_compress({encoded.data(), encoded.size()}, opt.codec);
   }, /*grain=*/1);
   for (unsigned k = 0; k < n_planes; ++k) {
     out.emplace_back(SegmentId{kSegPlane, level_tag, k, block},

@@ -162,7 +162,7 @@ const ProgressiveBackend* backend_by_name(const std::string& name);
 /// for solid (non-progressive) levels, the whole code array through the
 /// codec.  The scratch's outliers must already be sorted by slot.
 Bytes serialize_base_segment(const LevelScratch& ls, bool progressive,
-                             bool try_lzh);
+                             CodecPolicy codec);
 
 /// Pack a progressive level's pre-split planes (from encode_level's fused
 /// pass) into per-plane segments — predictive XOR against `codes` + codec,

@@ -77,7 +77,7 @@ BlockCompressResult compress_impl(const T* original, T* work,
       lh.loss.assign(1, 0);
       out.segments.emplace_back(
           SegmentId{kSegBase, level_tag, 0, block},
-          serialize_base_segment(scratch, false, opt.try_lzh));
+          serialize_base_segment(scratch, false, opt.codec));
       continue;
     }
 
@@ -92,7 +92,7 @@ BlockCompressResult compress_impl(const T* original, T* work,
 
     out.segments.emplace_back(
         SegmentId{kSegBase, level_tag, 0, block},
-        serialize_base_segment(scratch, true, opt.try_lzh));
+        serialize_base_segment(scratch, true, opt.codec));
 
     append_plane_segments(scratch.codes, std::move(enc.planes), level_tag,
                           block, opt, out.segments);

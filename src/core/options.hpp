@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "coding/codec.hpp"
 #include "core/header.hpp"
 #include "interp/interpolation.hpp"
 
@@ -32,9 +33,12 @@ struct Options {
   /// their segments are tiny and always loaded — the paper's L_p cutoff.
   std::size_t progressive_threshold = 4096;
 
-  /// Allow the LZ77 stage when choosing per-plane codecs (RLE-only is faster
-  /// to compress, LZH usually smaller).
-  bool try_lzh = true;
+  /// How the lossless stage picks a per-segment codec (coding/codec.hpp).
+  /// kProbe routes each segment by a cheap entropy probe (default); kTryAll
+  /// is the legacy encode-both-keep-smallest strategy (byte-identical to
+  /// pre-orchestration archives, replacing `try_lzh = true`); kRle is the
+  /// old `try_lzh = false` cheap path.
+  CodecPolicy codec = CodecPolicy::kProbe;
 
   /// Side length of the cubic blocks the field is decomposed into (archive
   /// format v2).  Blocks are compressed independently and concurrently, and

@@ -600,41 +600,6 @@ RetrievalStats ProgressiveReader<T>::execute(const RetrievalPlan& p) {
   return st;
 }
 
-// Definitions of the deprecated request_* spellings: defining (and
-// explicitly instantiating) them must not trip -Werror=deprecated-
-// declarations; only call sites should.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-template <typename T>
-RetrievalStats ProgressiveReader<T>::request_error_bound(double target) {
-  return execute(plan(Request::error_bound(target)));
-}
-
-template <typename T>
-RetrievalStats ProgressiveReader<T>::request_bytes(std::uint64_t budget_bytes) {
-  return execute(plan(Request::bytes(budget_bytes)));
-}
-
-template <typename T>
-RetrievalStats ProgressiveReader<T>::request_bitrate(double bits_per_value) {
-  return execute(plan(Request::bitrate(bits_per_value)));
-}
-
-template <typename T>
-RetrievalStats ProgressiveReader<T>::request_full() {
-  return execute(plan(Request::full()));
-}
-
-template <typename T>
-RetrievalStats ProgressiveReader<T>::request_region(
-    const std::array<std::size_t, kMaxRank>& lo,
-    const std::array<std::size_t, kMaxRank>& hi) {
-  return execute(plan(Request::full().within(lo, hi)));
-}
-
-#pragma GCC diagnostic pop
-
 template class ProgressiveReader<float>;
 template class ProgressiveReader<double>;
 

@@ -15,9 +15,9 @@
 //     codes on a block's first touch (Algorithm 1), incremental refinement
 //     afterwards (Algorithm 2 for the interpolation backend; transform
 //     backends may simply rebuild the block).
-// retrieve(Request) is the one-call combinator (execute(plan(req))); the
-// five legacy request_* methods are deprecated spellings of the same thing
-// and will be removed once external callers migrate.
+// retrieve(Request) is the one-call combinator (execute(plan(req))).  The
+// legacy request_* spellings of the same thing were deprecated and have been
+// removed; build a Request instead.
 //
 // Everything format- and transform-specific — code -> field reconstruction
 // and the per-level loss amplification the planner prices with — lives in
@@ -31,8 +31,8 @@
 // across blocks — then decode and reconstruct the blocks concurrently.
 // A Request carrying a region box additionally scopes retrieval to the
 // blocks intersecting the box: the same DP planner runs over those blocks'
-// aggregates, so a region can be combined with any fidelity target (the
-// legacy request_region is the full-fidelity special case).
+// aggregates, so a region can be combined with any fidelity target
+// (Request::full().within(lo, hi) is the full-fidelity special case).
 #pragma once
 
 #include <array>
@@ -108,32 +108,8 @@ class ProgressiveReader {
   /// One-call retrieval: execute(plan(req)).  The Request factories cover
   /// every mode — Request::error_bound / bytes / bitrate / full, each
   /// optionally scoped with .within(lo, hi) — so this is the single entry
-  /// point that replaced the request_* wrappers below.
+  /// point for callers that don't need to inspect the plan.
   RetrievalStats retrieve(const Request& req) { return execute(plan(req)); }
-
-  /// Deprecated spelling of retrieve(Request::error_bound(target)).
-  [[deprecated("use plan(Request)/execute() or retrieve(Request::error_bound(target))")]]
-  RetrievalStats request_error_bound(double target);
-
-  /// Deprecated spelling of retrieve(Request::bytes(budget_bytes)).
-  [[deprecated("use plan(Request)/execute() or retrieve(Request::bytes(budget_bytes))")]]
-  RetrievalStats request_bytes(std::uint64_t budget_bytes);
-
-  /// Deprecated spelling of retrieve(Request::bitrate(bits_per_value)).
-  [[deprecated("use plan(Request)/execute() or retrieve(Request::bitrate(bits_per_value))")]]
-  RetrievalStats request_bitrate(double bits_per_value);
-
-  /// Deprecated spelling of retrieve(Request::full()).
-  [[deprecated("use plan(Request)/execute() or retrieve(Request::full())")]]
-  RetrievalStats request_full();
-
-  /// Deprecated spelling of retrieve(Request::full().within(lo, hi)) —
-  /// full-fidelity region retrieval over the blocks intersecting the
-  /// half-open box [lo, hi); combine a region with an error-bound or byte
-  /// target by building the Request directly.
-  [[deprecated("use plan(Request)/execute() or retrieve(Request::full().within(lo, hi))")]]
-  RetrievalStats request_region(const std::array<std::size_t, kMaxRank>& lo,
-                                const std::array<std::size_t, kMaxRank>& hi);
 
   const std::vector<T>& data() const { return xhat_; }
   const Header& header() const { return header_; }
@@ -231,11 +207,11 @@ class ProgressiveReader {
   /// at construction (segment sizes are immutable; re-querying the source
   /// per request would cost O(blocks x planes) map lookups each time).
   std::vector<std::vector<std::uint64_t>> agg_plane_size_;
-  /// [level][plane] -> bytes of those segments already fetched (uniform
-  /// requests and request_region alike); the planner prices only the rest.
+  /// [level][plane] -> bytes of those segments already fetched (uniform and
+  /// region-scoped requests alike); the planner prices only the rest.
   std::vector<std::vector<std::uint64_t>> fetched_plane_bytes_;
   /// Per level: planes-from-top every block is guaranteed to have (uniform
-  /// requests only; request_region may push single blocks further).
+  /// requests only; region-scoped requests may push single blocks further).
   std::vector<unsigned> planes_used_;
 
   std::vector<BlockState> blocks_;

@@ -59,7 +59,13 @@ class BitWriter {
 
  private:
   void flush_word() {
-    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(acc_ >> (8 * i)));
+    // Bulk little-endian store of the full accumulator (compilers collapse
+    // the 8 byte stores into one 64-bit write); byte-identical to pushing
+    // the bytes one at a time but off the push_back slow path.
+    const std::size_t at = buf_.size();
+    buf_.resize(at + 8);
+    std::uint8_t* p = buf_.data() + at;
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(acc_ >> (8 * i));
     acc_ = 0;
     fill_ = 0;
   }

@@ -162,7 +162,7 @@ Bytes PmgardCompressor::compress(NdConstView<double> data, double eb_abs) {
       parallel_for(0, n_planes, [&](std::size_t k) {
         Bytes enc = predictive_encode_plane(codes, planes[k],
                                             static_cast<unsigned>(k), kPrefixBits);
-        packed[k] = codec_compress({enc.data(), enc.size()});
+        packed[k] = codec_compress({enc.data(), enc.size()}, codec_);
       }, /*grain=*/1);
       for (unsigned k = 0; k < n_planes; ++k) {
         builder.add_segment({kSegPlane, static_cast<std::uint16_t>(li + 1), k},

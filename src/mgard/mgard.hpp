@@ -20,6 +20,7 @@
 #pragma once
 
 #include "baselines/baseline.hpp"
+#include "coding/codec.hpp"
 #include "util/dims.hpp"
 
 namespace ipcomp {
@@ -34,6 +35,12 @@ std::vector<double> mgard_recompose(const Dims& dims,
 
 class PmgardCompressor final : public ProgressiveCompressor {
  public:
+  /// PMGARD shares the orchestrated plane codec stage; `codec` picks the
+  /// policy exactly as Options::codec does for the IPComp backends (the
+  /// pre-policy code ignored the caller's choice and always used defaults).
+  explicit PmgardCompressor(CodecPolicy codec = CodecPolicy::kProbe)
+      : codec_(codec) {}
+
   std::string name() const override { return "PMGARD"; }
 
   /// PMGARD archives are precision-complete by design (the paper evaluates it
@@ -48,6 +55,8 @@ class PmgardCompressor final : public ProgressiveCompressor {
   struct Plan;
   Retrieval retrieve(const Bytes& archive, double error_target,
                      std::uint64_t byte_budget, bool byte_mode) const;
+
+  CodecPolicy codec_;
 };
 
 }  // namespace ipcomp

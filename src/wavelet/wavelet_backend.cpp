@@ -325,7 +325,7 @@ BlockCompressResult compress_impl(const T* original, const Dims& bd,
       lh.loss.assign(1, 0);
       out.segments.emplace_back(
           SegmentId{kSegBase, level_tag, 0, block},
-          serialize_base_segment(scratch, false, opt.try_lzh));
+          serialize_base_segment(scratch, false, opt.codec));
       continue;
     }
 
@@ -339,7 +339,7 @@ BlockCompressResult compress_impl(const T* original, const Dims& bd,
 
     out.segments.emplace_back(
         SegmentId{kSegBase, level_tag, 0, block},
-        serialize_base_segment(scratch, true, opt.try_lzh));
+        serialize_base_segment(scratch, true, opt.codec));
     append_plane_segments(scratch.codes, std::move(enc.planes), level_tag,
                           block, opt, out.segments);
   }

@@ -1,33 +1,56 @@
+// Per-segment codec orchestration: per-codec round-trip properties (every
+// policy, every method, incl. the bitpack sparse-index codec on its edge
+// shapes), probe/routing expectations, and strict decode validation (forged
+// tags, truncated payloads, wrong sizes).
 #include <gtest/gtest.h>
 
+#include "coding/bitpack.hpp"
 #include "coding/codec.hpp"
 #include "util/rng.hpp"
 
 namespace ipcomp {
 namespace {
 
+constexpr CodecPolicy kPolicies[] = {CodecPolicy::kProbe, CodecPolicy::kTryAll,
+                                     CodecPolicy::kRle};
+
 void round_trip(const Bytes& input) {
-  Bytes enc = codec_compress({input.data(), input.size()});
-  Bytes dec = codec_decompress({enc.data(), enc.size()}, input.size());
-  EXPECT_EQ(dec, input);
+  for (CodecPolicy policy : kPolicies) {
+    Bytes enc = codec_compress({input.data(), input.size()}, policy);
+    // Expansion is bounded at the tag byte under every policy.
+    EXPECT_LE(enc.size(), input.size() + 1) << to_string(policy);
+    Bytes dec = codec_decompress({enc.data(), enc.size()}, input.size());
+    EXPECT_EQ(dec, input) << to_string(policy);
+  }
+}
+
+CodecMethod method_of(const Bytes& enc) {
+  return static_cast<CodecMethod>(enc.at(0));
 }
 
 TEST(Codec, EmptyInput) { round_trip({}); }
 
 TEST(Codec, AllZeroUsesEmptyMethod) {
   Bytes in(4096, 0);
-  Bytes enc = codec_compress({in.data(), in.size()});
-  EXPECT_EQ(enc.size(), 1u);
-  EXPECT_EQ(enc[0], static_cast<std::uint8_t>(CodecMethod::kEmpty));
+  for (CodecPolicy policy : kPolicies) {
+    Bytes enc = codec_compress({in.data(), in.size()}, policy);
+    EXPECT_EQ(enc.size(), 1u);
+    EXPECT_EQ(method_of(enc), CodecMethod::kEmpty);
+  }
   round_trip(in);
 }
 
-TEST(Codec, SparseUsesRleOrLzh) {
+TEST(Codec, SparseStaysTiny) {
   Bytes in(8192, 0);
   in[100] = 1;
   in[5000] = 2;
-  Bytes enc = codec_compress({in.data(), in.size()});
-  EXPECT_LT(enc.size(), 32u);
+  for (CodecPolicy policy : kPolicies) {
+    Bytes enc = codec_compress({in.data(), in.size()}, policy);
+    EXPECT_LT(enc.size(), 32u) << to_string(policy);
+  }
+  // Two isolated set bits in 64 Kbit: the probe must route to bitpack.
+  EXPECT_EQ(method_of(codec_compress({in.data(), in.size()})),
+            CodecMethod::kBitpack);
   round_trip(in);
 }
 
@@ -35,38 +58,91 @@ TEST(Codec, RandomFallsBackToRaw) {
   Rng rng(77);
   Bytes in(4096);
   for (auto& b : in) b = static_cast<std::uint8_t>(rng.next_u64());
-  Bytes enc = codec_compress({in.data(), in.size()});
-  EXPECT_LE(enc.size(), in.size() + 1);
+  for (CodecPolicy policy : kPolicies) {
+    Bytes enc = codec_compress({in.data(), in.size()}, policy);
+    EXPECT_LE(enc.size(), in.size() + 1) << to_string(policy);
+  }
+  // Uniform random bytes are ~8 bits/byte: routed raw without an encode.
+  EXPECT_EQ(method_of(codec_compress({in.data(), in.size()})),
+            CodecMethod::kRaw);
   round_trip(in);
 }
 
-TEST(Codec, RepetitivePrefersLzh) {
+TEST(Codec, RepetitiveCompressesWell) {
+  // 6/7 zero bytes: below the RLE routing cutoff, so the probe must fall
+  // through to LZH and match try-all's size; the RLE-only legacy policy pays
+  // ~2 bytes per nonzero byte here, which is its documented trade.
   Bytes in;
   for (int i = 0; i < 10000; ++i) in.push_back(static_cast<std::uint8_t>(i % 7 ? 0 : 9));
+  EXPECT_LT(codec_compress({in.data(), in.size()}, CodecPolicy::kProbe).size(),
+            600u);
+  EXPECT_LT(codec_compress({in.data(), in.size()}, CodecPolicy::kTryAll).size(),
+            600u);
+  round_trip(in);
+}
+
+TEST(Codec, StructuredDenseRoutesToLzh) {
+  // Every byte nonzero (RLE can't win), strongly repetitive (entropy far
+  // below the raw cutoff): the probe's dense branch must pick LZH.
+  Bytes in;
+  for (int i = 0; i < 10000; ++i) in.push_back(static_cast<std::uint8_t>(i % 7 + 1));
   Bytes enc = codec_compress({in.data(), in.size()});
+  EXPECT_EQ(method_of(enc), CodecMethod::kLzh);
   EXPECT_LT(enc.size(), 600u);
   round_trip(in);
 }
 
-TEST(Codec, LzhDisabled) {
-  Bytes in;
-  for (int i = 0; i < 10000; ++i) in.push_back(static_cast<std::uint8_t>(i));
-  Bytes enc = codec_compress({in.data(), in.size()}, /*try_lzh=*/false);
+TEST(Codec, MostlyZeroRoutesToRle) {
+  // 1/8 of bytes nonzero but clustered 8 set bits each: too dense per byte
+  // for bitpack, zero-dominated enough for RLE.
+  Bytes in(8192, 0);
+  for (std::size_t i = 0; i < in.size(); i += 8) in[i] = 0xff;
+  Bytes enc = codec_compress({in.data(), in.size()});
+  EXPECT_EQ(method_of(enc), CodecMethod::kRle);
   round_trip(in);
-  Bytes dec = codec_decompress({enc.data(), enc.size()}, in.size());
-  EXPECT_EQ(dec, in);
 }
 
 TEST(Codec, WrongSizeThrows) {
+  // Two set bits, one beyond the forged 50-byte bound, so every routed
+  // method (bitpack under probe, RLE under the legacy policies) detects the
+  // size mismatch.
   Bytes in(100, 0);
   in[4] = 1;
-  Bytes enc = codec_compress({in.data(), in.size()});
-  EXPECT_THROW(codec_decompress({enc.data(), enc.size()}, 50), std::runtime_error);
+  in[60] = 1;
+  for (CodecPolicy policy : kPolicies) {
+    Bytes enc = codec_compress({in.data(), in.size()}, policy);
+    EXPECT_THROW(codec_decompress({enc.data(), enc.size()}, 50),
+                 std::runtime_error);
+  }
 }
 
 TEST(Codec, EmptyBufferThrows) {
   Bytes empty;
   EXPECT_THROW(codec_decompress({empty.data(), empty.size()}, 4), std::runtime_error);
+}
+
+TEST(Codec, ForgedTagThrows) {
+  Bytes in(256, 0);
+  in[7] = 3;
+  Bytes enc = codec_compress({in.data(), in.size()});
+  for (unsigned tag = 5; tag < 256; tag += 25) {
+    Bytes forged = enc;
+    forged[0] = static_cast<std::uint8_t>(tag);
+    EXPECT_THROW(codec_decompress({forged.data(), forged.size()}, in.size()),
+                 std::runtime_error)
+        << "tag " << tag;
+  }
+}
+
+TEST(Codec, ProbeCountsExactly) {
+  Bytes in(1001, 0);
+  in[3] = 0x81;    // 2 bits
+  in[500] = 1;     // 1 bit
+  in[1000] = 0xff; // 8 bits (tail byte past the last full word)
+  CodecProbe p = codec_probe({in.data(), in.size()});
+  EXPECT_EQ(p.bits, 8008u);
+  EXPECT_EQ(p.ones, 11u);
+  EXPECT_EQ(p.nonzero_bytes, 3u);
 }
 
 TEST(Codec, FuzzRoundTrip) {
@@ -78,6 +154,104 @@ TEST(Codec, FuzzRoundTrip) {
       b = rng.uniform() < density ? static_cast<std::uint8_t>(rng.next_u64()) : 0;
     }
     round_trip(in);
+  }
+}
+
+// ---- bitpack codec -------------------------------------------------------
+
+void bitpack_round_trip(const Bytes& in) {
+  Bytes enc = bitpack_encode({in.data(), in.size()});
+  Bytes dec = bitpack_decode({enc.data(), enc.size()}, in.size());
+  EXPECT_EQ(dec, in);
+}
+
+TEST(Bitpack, EmptyInput) { bitpack_round_trip({}); }
+
+TEST(Bitpack, AllZero) { bitpack_round_trip(Bytes(10000, 0)); }
+
+TEST(Bitpack, AllOnes) { bitpack_round_trip(Bytes(3000, 0xff)); }
+
+TEST(Bitpack, SparseCostsAboutOneBytePerBit) {
+  Bytes in(1 << 18, 0);  // 4 chunks
+  Rng rng(9);
+  std::size_t bits = 0;
+  for (int i = 0; i < 512; ++i) {
+    std::size_t at = rng.uniform_u64(in.size());
+    if (in[at] == 0) ++bits;
+    in[at] = static_cast<std::uint8_t>(1u << (rng.next_u64() & 7));
+  }
+  Bytes enc = bitpack_encode({in.data(), in.size()});
+  // Gaps average 512 bytes (~12 bits) => 2-byte varints, plus chunk framing.
+  EXPECT_LT(enc.size(), bits * 2 + 16);
+  bitpack_round_trip(in);
+}
+
+TEST(Bitpack, DenseStillRoundTrips) {
+  Rng rng(10);
+  Bytes in(70000);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.next_u64());
+  bitpack_round_trip(in);
+}
+
+TEST(Bitpack, TailSizesRoundTrip) {
+  // Sizes straddling word and chunk boundaries, with the last byte set so
+  // the final in-chunk position is exercised.
+  for (std::size_t n : {1u, 7u, 8u, 9u, 63u, 64u, 65u,
+                        (1u << 16) - 1, 1u << 16, (1u << 16) + 1}) {
+    Bytes in(n, 0);
+    in.front() = 0x80;
+    in.back() |= 0x01;
+    bitpack_round_trip(in);
+  }
+}
+
+TEST(Bitpack, TruncatedPayloadThrows) {
+  Bytes in(5000, 0);
+  for (std::size_t i = 0; i < in.size(); i += 97) in[i] = 1;
+  Bytes enc = bitpack_encode({in.data(), in.size()});
+  for (std::size_t cut : {enc.size() - 1, enc.size() / 2, std::size_t{1}}) {
+    Bytes trunc(enc.begin(), enc.begin() + cut);
+    EXPECT_THROW(bitpack_decode({trunc.data(), trunc.size()}, in.size()),
+                 std::runtime_error)
+        << "cut " << cut;
+  }
+}
+
+TEST(Bitpack, TrailingBytesThrow) {
+  Bytes in(100, 0);
+  in[50] = 2;
+  Bytes enc = bitpack_encode({in.data(), in.size()});
+  enc.push_back(0);
+  EXPECT_THROW(bitpack_decode({enc.data(), enc.size()}, in.size()),
+               std::runtime_error);
+  Bytes empty_with_junk{0x01};
+  EXPECT_THROW(bitpack_decode({empty_with_junk.data(), 1}, 0),
+               std::runtime_error);
+}
+
+TEST(Bitpack, OutOfRangePositionThrows) {
+  // A forged chunk whose gap varint names a bit past the chunk end.
+  ByteWriter w;
+  ByteWriter chunk;
+  chunk.varint(80);  // only 10 bytes = 80 bits of output: positions 0..79
+  Bytes payload = chunk.take();
+  w.varint(payload.size());
+  w.bytes(payload);
+  Bytes forged = w.take();
+  EXPECT_THROW(bitpack_decode({forged.data(), forged.size()}, 10),
+               std::runtime_error);
+}
+
+TEST(Bitpack, FuzzSparseRoundTrip) {
+  Rng rng(321);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes in(rng.uniform_u64(200000));
+    const std::size_t n_bits = rng.uniform_u64(200);
+    for (std::size_t i = 0; i < n_bits && !in.empty(); ++i) {
+      in[rng.uniform_u64(in.size())] |=
+          static_cast<std::uint8_t>(1u << (rng.next_u64() & 7));
+    }
+    bitpack_round_trip(in);
   }
 }
 

@@ -3,6 +3,8 @@
 // backstop for the whole stack.
 #include <gtest/gtest.h>
 
+#include "coding/bitpack.hpp"
+#include "coding/codec.hpp"
 #include "coding/lzh.hpp"
 #include "ipcomp.hpp"
 #include "test_util.hpp"
@@ -169,6 +171,65 @@ TEST_P(ForgedArchive, MutatedTruncatedAndGarbageInputsNeverCrash) {
     Bytes garbage(rng.uniform_u64(4096));
     for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
     try_read_archive(std::move(garbage));
+  }
+}
+
+// Codec-level forgery: a segment whose tag byte names an unknown method must
+// throw (not read garbage), under random payloads of every shape.
+TEST_P(ForgedArchive, ForgedCodecTagIsRejected) {
+  Rng rng(4000 + GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    Bytes seg(1 + rng.uniform_u64(512));
+    seg[0] = static_cast<std::uint8_t>(5 + rng.uniform_u64(251));  // tag 5..255
+    for (std::size_t i = 1; i < seg.size(); ++i) {
+      seg[i] = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    EXPECT_THROW(codec_decompress({seg.data(), seg.size()},
+                                  rng.uniform_u64(4096)),
+                 std::runtime_error);
+  }
+}
+
+// Bitpack payload forgery: truncations, mutations and garbage against the
+// sparse-index codec's strict validation — reject or decode, never crash.
+TEST_P(ForgedArchive, BitpackForgedPayloadsNeverCrash) {
+  Rng rng(5000 + GetParam());
+  Bytes in(40000, 0);
+  for (int i = 0; i < 300; ++i) {
+    in[rng.uniform_u64(in.size())] |=
+        static_cast<std::uint8_t>(1u << (rng.next_u64() & 7));
+  }
+  const Bytes donor = bitpack_encode({in.data(), in.size()});
+
+  auto try_decode = [&](const Bytes& payload) {
+    try {
+      Bytes out = bitpack_decode({payload.data(), payload.size()}, in.size());
+      return out.size() == in.size();
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+
+  // Any strict truncation must be rejected: the stream frames every chunk
+  // with an exact payload length, so a shortened tail is always detectable.
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t len = rng.uniform_u64(donor.size());
+    EXPECT_FALSE(try_decode(Bytes(donor.begin(),
+                                  donor.begin() + static_cast<std::ptrdiff_t>(len))));
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    Bytes forged = donor;
+    const std::size_t flips = 1 + rng.uniform_u64(6);
+    for (std::size_t i = 0; i < flips; ++i) {
+      forged[rng.uniform_u64(forged.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    }
+    try_decode(forged);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes garbage(rng.uniform_u64(2048));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
+    try_decode(garbage);
   }
 }
 

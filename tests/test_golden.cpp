@@ -1,4 +1,5 @@
-// End-to-end byte-identity goldens for the bitplane engine refactor.
+// End-to-end byte-identity goldens for the bitplane engine and the codec
+// orchestration stage.
 //
 // Archives (header + every segment, including the serialized per-level loss
 // tables) and progressively reconstructed fields are hashed and compared to
@@ -6,6 +7,14 @@
 // quantization, negabinary coding, loss accounting, plane extraction or
 // deposit order shows up here as a hash mismatch, so the word-parallel
 // engine is pinned to be a pure speedup.
+//
+// Every case runs under two codec policies:
+//   * kTryAll must reproduce the pre-orchestration constants bit-for-bit —
+//     archive bytes AND reconstructions — pinning that archives written by
+//     earlier releases are exactly reproducible and decode byte-identically.
+//   * kProbe (the new default) gets its own archive constants, but its
+//     reconstruction hashes must equal the try-all ones at every request:
+//     routing is a size/speed decision, never a fidelity one.
 //
 // The synthetic fields use only exact integer arithmetic and single-rounded
 // double products (no libm transcendentals), so the inputs are bit-identical
@@ -16,6 +25,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "core/compressor.hpp"
 #include "core/progressive_reader.hpp"
@@ -72,13 +82,15 @@ struct GoldenHashes {
 
 template <typename T>
 GoldenHashes run_case(const Dims& dims, BackendId be, std::size_t block_side,
-                      std::size_t threshold, std::uint64_t seed) {
+                      std::size_t threshold, std::uint64_t seed,
+                      CodecPolicy codec) {
   auto field = golden_field<T>(dims, seed);
   Options opt;
   opt.backend = be;
   opt.block_side = block_side;
   opt.progressive_threshold = threshold;
   opt.error_bound = 1e-4;
+  opt.codec = codec;
   Bytes archive = compress(field.const_view(), opt);
 
   GoldenHashes g{};
@@ -113,7 +125,9 @@ void check(const char* name, const GoldenHashes& got, const GoldenHashes& want) 
   EXPECT_EQ(got.full, want.full) << name << ": full reconstruction changed";
 }
 
-// Hashes captured from the pre-refactor (PR 4) scalar bitplane pipeline.
+// Hashes captured from the pre-refactor (PR 4) scalar bitplane pipeline
+// with the try-everything codec stage — the bytes every pre-orchestration
+// release wrote.  The try-all policy must keep reproducing them forever.
 // Regenerate with IPCOMP_GOLDEN_PRINT=1 only for an intentional format change.
 constexpr GoldenHashes kInterpV1{0xa13f829c7531238bull, 0x943ee1de74eef67aull,
                                  0x24ce5fd5878279efull, 0x24ce5fd5878279efull};
@@ -130,34 +144,73 @@ constexpr GoldenHashes kWaveletV3Block{0x2a677ed253ba40dbull,
                                        0x95d956859728dfd5ull,
                                        0x8926ba20565e533aull};
 
+// Archive hashes under the probe-routed default policy.  The reconstruction
+// hashes are NOT new constants: a probe-policy case must reproduce the
+// try-all reconstructions exactly (same decode at every request), which
+// each test asserts by reusing the legacy constants' decode fields.
+constexpr std::uint64_t kInterpV1ProbeArchive = 0x804531af03a6bdcfull;
+constexpr std::uint64_t kInterpV2ProbeArchive = 0x8b86671dbf178deeull;
+constexpr std::uint64_t kInterpV2F32ProbeArchive = 0xf5fb583307d20e69ull;
+constexpr std::uint64_t kWaveletV3WholeProbeArchive = 0x1e6dccaabbcd88d9ull;
+constexpr std::uint64_t kWaveletV3BlockProbeArchive = 0xedd47ae5a904bbcbull;
+
+/// Probe-policy expectation: new archive bytes, identical reconstructions.
+constexpr GoldenHashes with_archive(std::uint64_t archive,
+                                    const GoldenHashes& legacy) {
+  return {archive, legacy.coarse, legacy.mid, legacy.full};
+}
+
+struct GoldenCase {
+  const char* name;
+  Dims dims;
+  BackendId backend;
+  std::size_t block_side;
+  std::size_t threshold;
+  std::uint64_t seed;
+  GoldenHashes legacy;        // kTryAll: pre-orchestration bytes
+  std::uint64_t probe_archive;  // kProbe: new bytes, same reconstructions
+};
+
+template <typename T>
+void run_golden(const GoldenCase& c) {
+  check((std::string(c.name) + " [tryall]").c_str(),
+        run_case<T>(c.dims, c.backend, c.block_side, c.threshold, c.seed,
+                    CodecPolicy::kTryAll),
+        c.legacy);
+  check((std::string(c.name) + " [probe]").c_str(),
+        run_case<T>(c.dims, c.backend, c.block_side, c.threshold, c.seed,
+                    CodecPolicy::kProbe),
+        with_archive(c.probe_archive, c.legacy));
+}
+
 TEST(Golden, InterpV1Whole) {
-  check("interp v1 whole-field 40^3 f64",
-        run_case<double>(Dims{40, 40, 40}, BackendId::kInterp, 0, 4096, 11),
-        kInterpV1);
+  run_golden<double>({"interp v1 whole-field 40^3 f64", Dims{40, 40, 40},
+                      BackendId::kInterp, 0, 4096, 11, kInterpV1,
+                      kInterpV1ProbeArchive});
 }
 
 TEST(Golden, InterpV2Block) {
-  check("interp v2 block16 40^3 f64",
-        run_case<double>(Dims{40, 40, 40}, BackendId::kInterp, 16, 256, 12),
-        kInterpV2);
+  run_golden<double>({"interp v2 block16 40^3 f64", Dims{40, 40, 40},
+                      BackendId::kInterp, 16, 256, 12, kInterpV2,
+                      kInterpV2ProbeArchive});
 }
 
 TEST(Golden, InterpV2BlockF32) {
-  check("interp v2 block16 64x48 f32",
-        run_case<float>(Dims{64, 48}, BackendId::kInterp, 16, 256, 13),
-        kInterpV2F32);
+  run_golden<float>({"interp v2 block16 64x48 f32", Dims{64, 48},
+                     BackendId::kInterp, 16, 256, 13, kInterpV2F32,
+                     kInterpV2F32ProbeArchive});
 }
 
 TEST(Golden, WaveletV3Whole) {
-  check("wavelet v3 whole-field 24^3 f64",
-        run_case<double>(Dims{24, 24, 24}, BackendId::kWavelet, 0, 256, 14),
-        kWaveletV3Whole);
+  run_golden<double>({"wavelet v3 whole-field 24^3 f64", Dims{24, 24, 24},
+                      BackendId::kWavelet, 0, 256, 14, kWaveletV3Whole,
+                      kWaveletV3WholeProbeArchive});
 }
 
 TEST(Golden, WaveletV3Block) {
-  check("wavelet v3 block16 24^3 f64",
-        run_case<double>(Dims{24, 24, 24}, BackendId::kWavelet, 16, 256, 15),
-        kWaveletV3Block);
+  run_golden<double>({"wavelet v3 block16 24^3 f64", Dims{24, 24, 24},
+                      BackendId::kWavelet, 16, 256, 15, kWaveletV3Block,
+                      kWaveletV3BlockProbeArchive});
 }
 
 // Region retrieval drives the per-block multi-plane deposit path with

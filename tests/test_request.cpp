@@ -1,5 +1,4 @@
-// Plan/execute retrieval API: Request/RetrievalPlan semantics, equivalence of
-// the legacy request_* wrappers with explicit plan()+execute(), region
+// Plan/execute retrieval API: Request/RetrievalPlan semantics, region
 // requests with fidelity targets, plan purity/prediction exactness, stale-
 // plan rejection, byte-accounting invariants, and FileSource read coalescing
 // through the reader — across both backends and block modes (v1/v2/v3).
@@ -52,20 +51,15 @@ void expect_stats_eq(const RetrievalStats& a, const RetrievalStats& b) {
   EXPECT_EQ(a.bitrate, b.bitrate);
 }
 
-// Each legacy request_* call must equal the explicit plan+execute split:
-// same planned segment list (same fetches in the same order), same stats,
-// same reconstruction, same cumulative bytes.  This is the one suite that
-// still exercises the deprecated wrappers on purpose — it pins their
-// equivalence until removal — so the deprecation warnings are suppressed
-// here and nowhere else.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_P(RequestApi, LegacyCallsEqualPlanPlusExecute) {
+// retrieve(req) must equal the explicit plan+execute split: same planned
+// segment list (same fetches in the same order), same stats, same
+// reconstruction, same cumulative bytes.
+TEST_P(RequestApi, RetrieveEqualsPlanPlusExecute) {
   auto field = smooth_field(Dims{40, 40, 24}, 41, 0.05);
   Bytes archive = make_archive(field, 1e-8);
 
-  MemorySource legacy_src{Bytes(archive)};
-  ProgressiveReader<double> legacy(legacy_src);
+  MemorySource one_call_src{Bytes(archive)};
+  ProgressiveReader<double> one_call(one_call_src);
   MemorySource split_src{Bytes(archive)};
   ProgressiveReader<double> split(split_src);
 
@@ -79,31 +73,18 @@ TEST_P(RequestApi, LegacyCallsEqualPlanPlusExecute) {
   for (std::size_t i = 0; i < steps.size(); ++i) {
     const Request& req = steps[i];
     // Both readers are in the same state, so their plans must agree exactly.
-    RetrievalPlan lp = legacy.plan(req);
+    RetrievalPlan op = one_call.plan(req);
     RetrievalPlan sp = split.plan(req);
-    EXPECT_EQ(lp.segments, sp.segments) << "step " << i;
-    EXPECT_EQ(lp.bytes_new, sp.bytes_new) << "step " << i;
+    EXPECT_EQ(op.segments, sp.segments) << "step " << i;
+    EXPECT_EQ(op.bytes_new, sp.bytes_new) << "step " << i;
 
-    RetrievalStats ls;
-    if (const auto* eb = std::get_if<Request::ErrorBound>(&req.target);
-        eb && !req.region) {
-      ls = legacy.request_error_bound(eb->target);
-    } else if (const auto* br = std::get_if<Request::Bitrate>(&req.target)) {
-      ls = legacy.request_bitrate(br->bits_per_value);
-    } else if (const auto* bb = std::get_if<Request::ByteBudget>(&req.target)) {
-      ls = legacy.request_bytes(bb->budget);
-    } else if (req.region) {
-      ls = legacy.request_region(req.region->lo, req.region->hi);
-    } else {
-      ls = legacy.request_full();
-    }
+    RetrievalStats os = one_call.retrieve(req);
     RetrievalStats ss = split.execute(sp);
-    expect_stats_eq(ls, ss);
-    EXPECT_EQ(legacy.data(), split.data()) << "step " << i;
-    EXPECT_EQ(legacy_src.stats().bytes_read, split_src.stats().bytes_read) << "step " << i;
+    expect_stats_eq(os, ss);
+    EXPECT_EQ(one_call.data(), split.data()) << "step " << i;
+    EXPECT_EQ(one_call_src.stats().bytes_read, split_src.stats().bytes_read) << "step " << i;
   }
 }
-#pragma GCC diagnostic pop
 
 // plan() moves no payload bytes and its predictions are exact: the executed
 // stats report exactly the predicted bytes_new and guaranteed_error, at any
