@@ -12,8 +12,15 @@
 // rate.  `--json <path>` writes the summary CI merges into BENCH_ci.json and
 // asserts on: throughput_req_s, cache_hit_rate, and read_calls_shared <
 // read_calls_isolated at equal reconstructions.
+//
+// A third block drives the same schedule through the network daemon over a
+// loopback socket (RemoteReader -> ipc serve), once with the mmap storage
+// path and once with plain fread, measuring remote throughput and the
+// compressed bytes actually on the wire against the logical bytes delivered
+// and the resend-everything baseline a non-progressive protocol would move.
 #include <barrier>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -23,6 +30,8 @@
 
 #include "bench_common.hpp"
 #include "ipcomp.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 
 namespace {
 
@@ -126,6 +135,68 @@ ModeResult run_isolated(const std::string& path, int clients, const Dims& dims) 
   return r;
 }
 
+struct DaemonResult {
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  std::uint64_t wire_bytes = 0;     // compressed payload bytes on the wire
+  std::uint64_t logical_bytes = 0;  // sum of planned bytes_new (ledger bytes)
+  std::uint64_t resend_bytes = 0;   // resend-full-state-per-step baseline
+  std::vector<std::vector<double>> outputs;
+};
+
+/// The shared-mode schedule replayed by remote clients over one loopback
+/// daemon.  `use_mmap` picks the server's storage path.
+DaemonResult run_daemon(const std::string& path, int clients, const Dims& dims,
+                        std::size_t cache_bytes, bool use_mmap) {
+  net::ServerConfig cfg;
+  cfg.listen = "127.0.0.1:0";
+  cfg.workers = static_cast<unsigned>(clients);
+  cfg.serve.cache_capacity_bytes = cache_bytes;
+  cfg.serve.io_threads = 2;
+  cfg.serve.use_mmap = use_mmap;
+  net::Server server(cfg);
+  server.export_file("bench", path);
+  server.start();
+  const std::string addr = server.address();
+
+  DaemonResult r;
+  r.outputs.resize(static_cast<std::size_t>(clients));
+  std::vector<std::uint64_t> wire(static_cast<std::size_t>(clients));
+  std::vector<std::uint64_t> logical(static_cast<std::size_t>(clients));
+  std::vector<std::uint64_t> resend(static_cast<std::size_t>(clients));
+  std::barrier gate(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      gate.arrive_and_wait();
+      const auto i = static_cast<std::size_t>(c);
+      net::RemoteReader<double> remote(addr, "bench");
+      for (const Request& req : traffic_for(c, dims).steps) {
+        const RetrievalStats st = remote.retrieve(req);
+        logical[i] += st.bytes_new;
+        resend[i] += st.bytes_total;
+      }
+      wire[i] = remote.archive().wire_payload_bytes();
+      r.outputs[i] = remote.data();
+    });
+  }
+  for (auto& th : threads) th.join();
+  r.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0).count();
+  r.requests = static_cast<std::size_t>(clients) *
+               traffic_for(0, dims).steps.size();
+  for (int c = 0; c < clients; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    r.wire_bytes += wire[i];
+    r.logical_bytes += logical[i];
+    r.resend_bytes += resend[i];
+  }
+  server.stop();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -164,13 +235,24 @@ int main(int argc, char** argv) {
   CacheStats cache;
   ModeResult shared = run_shared(path, clients, dims, std::size_t{64} << 20, cache);
   ModeResult isolated = run_isolated(path, clients, dims);
+  DaemonResult daemon_mmap =
+      run_daemon(path, clients, dims, std::size_t{64} << 20, /*use_mmap=*/true);
+  DaemonResult daemon_fread =
+      run_daemon(path, clients, dims, std::size_t{64} << 20, /*use_mmap=*/false);
   std::remove(path.c_str());
 
-  // Equal reconstructions or the comparison is meaningless.
+  // Equal reconstructions or the comparison is meaningless — and the remote
+  // clients replay the same schedule, so they must land byte-identical too.
   for (int c = 0; c < clients; ++c) {
-    if (shared.outputs[static_cast<std::size_t>(c)] !=
-        isolated.outputs[static_cast<std::size_t>(c)]) {
+    const auto i = static_cast<std::size_t>(c);
+    if (shared.outputs[i] != isolated.outputs[i]) {
       std::fprintf(stderr, "FAIL: client %d diverged between modes\n", c);
+      return 1;
+    }
+    if (daemon_mmap.outputs[i] != shared.outputs[i] ||
+        daemon_fread.outputs[i] != shared.outputs[i]) {
+      std::fprintf(stderr,
+                   "FAIL: remote client %d diverged from the local tier\n", c);
       return 1;
     }
   }
@@ -188,6 +270,34 @@ int main(int argc, char** argv) {
               static_cast<double>(isolated.bytes_read) /
                   static_cast<double>(shared.bytes_read ? shared.bytes_read : 1),
               throughput);
+
+  const double tp_mmap = static_cast<double>(daemon_mmap.requests) /
+                         (daemon_mmap.seconds > 0 ? daemon_mmap.seconds : 1e-9);
+  const double tp_fread =
+      static_cast<double>(daemon_fread.requests) /
+      (daemon_fread.seconds > 0 ? daemon_fread.seconds : 1e-9);
+  std::printf("daemon   : mmap %6.3f s (%.0f req/s), fread %6.3f s (%.0f req/s)\n",
+              daemon_mmap.seconds, tp_mmap, daemon_fread.seconds, tp_fread);
+  std::printf("wire     : %zu payload bytes for %zu logical (resend baseline %zu, %.1fx saved)\n",
+              static_cast<std::size_t>(daemon_mmap.wire_bytes),
+              static_cast<std::size_t>(daemon_mmap.logical_bytes),
+              static_cast<std::size_t>(daemon_mmap.resend_bytes),
+              static_cast<double>(daemon_mmap.resend_bytes) /
+                  static_cast<double>(daemon_mmap.wire_bytes ? daemon_mmap.wire_bytes : 1));
+
+  // Progressive transfer is the protocol's point: the wire must carry no
+  // more than the ledger's bytes_new and strictly less than re-sending the
+  // accumulated state at every step.
+  if (daemon_mmap.wire_bytes == 0 ||
+      daemon_mmap.wire_bytes > daemon_mmap.logical_bytes ||
+      daemon_mmap.wire_bytes >= daemon_mmap.resend_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: wire accounting broken (wire %zu, logical %zu, resend %zu)\n",
+                 static_cast<std::size_t>(daemon_mmap.wire_bytes),
+                 static_cast<std::size_t>(daemon_mmap.logical_bytes),
+                 static_cast<std::size_t>(daemon_mmap.resend_bytes));
+    return 1;
+  }
 
   if (shared.read_calls >= isolated.read_calls ||
       shared.bytes_read >= isolated.bytes_read) {
@@ -217,7 +327,19 @@ int main(int argc, char** argv) {
     std::fprintf(json, "  \"bytes_shared\": %zu,\n", shared.bytes_read);
     std::fprintf(json, "  \"bytes_isolated\": %zu,\n", isolated.bytes_read);
     std::fprintf(json, "  \"seconds_shared\": %.4f,\n", shared.seconds);
-    std::fprintf(json, "  \"seconds_isolated\": %.4f\n", isolated.seconds);
+    std::fprintf(json, "  \"seconds_isolated\": %.4f,\n", isolated.seconds);
+    std::fprintf(json, "  \"daemon\": {\n");
+    std::fprintf(json, "    \"throughput_req_s_mmap\": %.3f,\n", tp_mmap);
+    std::fprintf(json, "    \"throughput_req_s_fread\": %.3f,\n", tp_fread);
+    std::fprintf(json, "    \"wire_payload_bytes\": %zu,\n",
+                 static_cast<std::size_t>(daemon_mmap.wire_bytes));
+    std::fprintf(json, "    \"logical_bytes\": %zu,\n",
+                 static_cast<std::size_t>(daemon_mmap.logical_bytes));
+    std::fprintf(json, "    \"resend_baseline_bytes\": %zu,\n",
+                 static_cast<std::size_t>(daemon_mmap.resend_bytes));
+    std::fprintf(json, "    \"seconds_mmap\": %.4f,\n", daemon_mmap.seconds);
+    std::fprintf(json, "    \"seconds_fread\": %.4f\n", daemon_fread.seconds);
+    std::fprintf(json, "  }\n");
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("wrote %s\n", json_path);

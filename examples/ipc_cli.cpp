@@ -8,8 +8,11 @@
 //                [--region z0:z1xy0:y1xx0:x1] [--dry-run]
 //   ipc info     <archive.ipc>
 //   ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]
-//   ipc serve    <archive.ipc> [--clients N] [--rounds R] [--cache-mb C]
+//   ipc serve    <archive.ipc> [--clients N] [--rounds R] [--cache-budget MB]
 //                [--quota BYTES]
+//   ipc serve    <archive.ipc> --listen ADDR [--workers N] [--mmap on|off]
+//                [--cache-budget MB] [--quota BYTES]
+//   ipc serve    <name> --connect ADDR [--clients N] [--rounds R]
 //
 // Raw files are dense row-major little-endian arrays (SDRBench layout).
 // --block-side N compresses in independent N^d blocks (archive format v2+):
@@ -26,13 +29,20 @@
 // `serve` drives N concurrent client sessions through one shared
 // ArchiveSet (segment LRU cache + pooled I/O) and reports throughput, cache
 // hit rate and physical-vs-logical I/O; --quota caps each session's bytes
-// and counts plan-admission rejections.  Unknown flags and malformed values
-// exit non-zero with a usage hint.
+// and counts plan-admission rejections.  With --listen it instead runs the
+// network daemon (net/server.hpp) on "host:port" or "unix:/path", exporting
+// the archive under both its path and basename, mmap-backed unless
+// --mmap off; SIGINT/SIGTERM drain gracefully and print the server stats.
+// With --connect it drives the same mixed traffic as the in-process mode
+// through RemoteReader clients against a running daemon and prints the
+// daemon's STAT reply.  Unknown flags and malformed values exit non-zero
+// with a usage hint.
 #include <array>
 #include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -44,6 +54,8 @@
 #include "ipcomp.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/report.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 
 namespace {
 
@@ -61,8 +73,11 @@ using namespace ipcomp;
       "               [--region z0:z1xy0:y1xx0:x1] [--dry-run]\n"
       "  ipc info     <archive.ipc>\n"
       "  ipc stats    <original.raw> <candidate.raw> --dims ZxYxX [--type f64|f32]\n"
-      "  ipc serve    <archive.ipc> [--clients N] [--rounds R] [--cache-mb C]\n"
-      "               [--quota BYTES]\n";
+      "  ipc serve    <archive.ipc> [--clients N] [--rounds R] [--cache-budget MB]\n"
+      "               [--quota BYTES]\n"
+      "  ipc serve    <archive.ipc> --listen ADDR [--workers N] [--mmap on|off]\n"
+      "               [--cache-budget MB] [--quota BYTES]\n"
+      "  ipc serve    <name> --connect ADDR [--clients N] [--rounds R]\n";
   std::exit(2);
 }
 
@@ -384,6 +399,148 @@ int do_stats(const Args& a) {
   return 0;
 }
 
+/// Shared by the three serve modes: --cache-budget MB (with the former
+/// --cache-mb spelling still accepted).
+std::size_t cache_budget_bytes(const Args& a) {
+  if (auto mb = a.get("cache-budget")) {
+    return parse_size(*mb, "cache-budget") << 20;
+  }
+  if (auto mb = a.get("cache-mb")) return parse_size(*mb, "cache-mb") << 20;
+  return std::size_t{64} << 20;
+}
+
+void print_serve_stats(const net::ServeStats& s) {
+  static const char* kOps[] = {"HELLO",   "OPEN",  "PLAN",   "EXECUTE",
+                               "STAT",    "CLOSE", "unknown"};
+  std::cout << "connections : " << s.connections_accepted << " accepted, "
+            << s.connections_active << " active, " << s.idle_reaped
+            << " idle-reaped\n"
+            << "frames      : " << s.frames_in << " in / " << s.frames_out
+            << " out (";
+  for (std::size_t i = 0; i < s.frames_by_opcode.size(); ++i) {
+    if (s.frames_by_opcode[i] == 0) continue;
+    std::cout << kOps[i] << "=" << s.frames_by_opcode[i] << " ";
+  }
+  std::cout << "), " << s.errors_sent << " errors, " << s.quota_rejections
+            << " quota-rejected\n"
+            << "wire        : " << s.wire_bytes_in << " bytes in / "
+            << s.wire_bytes_out << " bytes out, " << s.payload_bytes_sent
+            << " payload bytes served\n"
+            << "physical I/O: " << s.physical_bytes_read << " bytes in "
+            << s.physical_read_calls << " reads\n"
+            << "cache       : " << s.cache.hits << " hits / " << s.cache.misses
+            << " misses (rate " << TableReporter::num(s.cache.hit_rate(), 3)
+            << "), " << s.cache.resident_bytes << "/" << s.cache.capacity_bytes
+            << " bytes resident\n";
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+/// Daemon mode: run net::Server on --listen until SIGINT/SIGTERM, then
+/// drain and print the server-wide stats.
+int do_serve_listen(const Args& a) {
+  net::ServerConfig cfg;
+  cfg.listen = *a.get("listen");
+  if (auto w = a.get("workers")) {
+    cfg.workers = static_cast<unsigned>(parse_size(*w, "workers"));
+    if (cfg.workers == 0) usage("--workers must be >= 1");
+  }
+  if (auto q = a.get("quota")) cfg.session_quota = parse_size(*q, "quota");
+  cfg.serve.cache_capacity_bytes = cache_budget_bytes(a);
+  if (auto m = a.get("mmap")) {
+    if (*m != "on" && *m != "off") usage("--mmap wants on|off");
+    cfg.serve.use_mmap = *m == "on";
+  }
+
+  net::Server server(cfg);
+  const std::string& path = a.positional[0];
+  server.export_file(path, path);
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    server.export_file(path.substr(slash + 1), path);
+  }
+  server.start();
+  std::cout << "serving " << path << " on " << server.address() << " ("
+            << cfg.workers << " workers, "
+            << (cfg.serve.use_mmap ? "mmap" : "fread") << " storage, cache "
+            << cfg.serve.cache_capacity_bytes << " bytes)\n";
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "draining...\n";
+  server.stop();
+  print_serve_stats(server.stats());
+  return 0;
+}
+
+/// Remote-client mode: the in-process smoke load, but through RemoteReader
+/// connections against a running daemon.
+template <typename T>
+int do_serve_connect(const Args& a) {
+  const std::string spec = *a.get("connect");
+  const std::string& name = a.positional[0];
+  const int clients = static_cast<int>(
+      a.get("clients") ? parse_size(*a.get("clients"), "clients") : 4);
+  const int rounds = static_cast<int>(
+      a.get("rounds") ? parse_size(*a.get("rounds"), "rounds") : 1);
+  if (clients < 1 || rounds < 1) usage("--clients/--rounds must be >= 1");
+
+  std::atomic<std::size_t> served{0}, rejected{0}, logical_bytes{0},
+      wire_bytes{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < rounds; ++r) {
+        net::RemoteReader<T> reader(spec, name);
+        const std::size_t total = reader.archive().source().total_size();
+        const Request traffic[] = {
+            Request::error_bound(c % 2 ? 1e-2 : 1e-3),
+            Request::bytes(total / 4),
+            Request::full(),
+        };
+        std::size_t used = 0;
+        for (const Request& req : traffic) {
+          try {
+            used += reader.retrieve(req).bytes_new;
+            served.fetch_add(1, std::memory_order_relaxed);
+          } catch (const QuotaExceeded&) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            break;  // this session's budget is spent
+          }
+        }
+        logical_bytes.fetch_add(used, std::memory_order_relaxed);
+        wire_bytes.fetch_add(reader.archive().wire_payload_bytes(),
+                             std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::cout << "served      : " << served.load() << " requests (" << clients
+            << " clients x " << rounds << " rounds), " << rejected.load()
+            << " quota-rejected\n"
+            << "throughput  : "
+            << TableReporter::num(static_cast<double>(served.load()) /
+                                  (seconds > 0 ? seconds : 1e-9))
+            << " req/s\n"
+            << "logical     : " << logical_bytes.load()
+            << " bytes priced, " << wire_bytes.load()
+            << " payload bytes on the wire\n"
+            << "-- daemon stats --\n";
+  net::RemoteArchive probe(spec, name);
+  print_serve_stats(probe.stat());
+  return 0;
+}
+
 /// Multi-tenant smoke load: N concurrent clients x R rounds of mixed
 /// fidelity traffic against ONE shared archive handle.  Every session pays
 /// its full logical price in its own ledger; the shared cache + pooled I/O
@@ -399,9 +556,11 @@ int do_serve(const Args& a) {
       a.get("quota") ? parse_size(*a.get("quota"), "quota") : 0;
 
   ServeOptions sopts;
-  sopts.cache_capacity_bytes =
-      (a.get("cache-mb") ? parse_size(*a.get("cache-mb"), "cache-mb") : 64)
-      << 20;
+  sopts.cache_capacity_bytes = cache_budget_bytes(a);
+  if (auto m = a.get("mmap")) {
+    if (*m != "on" && *m != "off") usage("--mmap wants on|off");
+    sopts.use_mmap = *m == "on";
+  }
   ArchiveSet set(sopts);
   auto handle = set.open_file(a.positional[0]);
 
@@ -502,8 +661,22 @@ int main(int argc, char** argv) {
       return do_info(args);
     }
     if (cmd == "serve") {
-      args.allow_only({"clients", "rounds", "cache-mb", "quota"});
+      args.allow_only({"clients", "rounds", "cache-mb", "cache-budget",
+                       "quota", "listen", "connect", "mmap", "workers"});
       if (args.positional.size() != 1) usage();
+      if (args.get("listen") && args.get("connect")) {
+        usage("--listen and --connect are mutually exclusive");
+      }
+      if (args.get("listen")) return do_serve_listen(args);
+      if (args.get("connect")) {
+        // Value type is recorded in the archive; probe it over the wire.
+        net::RemoteArchive probe(*args.get("connect"), args.positional[0]);
+        bool is32 =
+            Header::parse(probe.source().header()).dtype == DataType::kFloat32;
+        probe.close();
+        return is32 ? do_serve_connect<float>(args)
+                    : do_serve_connect<double>(args);
+      }
       // Value type is recorded in the archive; probe it.
       FileSource probe(args.positional[0]);
       bool is32 = Header::parse(probe.header()).dtype == DataType::kFloat32;

@@ -75,6 +75,20 @@ for f in "${src_files[@]}"; do
            | cut -d: -f1 | sed 's/$/:/')
 done
 
+# Raw socket plumbing stays confined to src/net/: no other library code may
+# include the socket headers (and so can never grow a second, unframed wire
+# path).  <sys/mman.h> in io/mmap_source.cpp is storage, not sockets, and
+# tests/bench/examples sit outside src_files on purpose — forged-frame tests
+# need raw sends.
+for f in "${src_files[@]}"; do
+  case "$f" in src/net/*) continue ;; esac
+  while IFS=: read -r line _; do
+    fail "$f:$line: socket header outside src/net/ (all wire I/O goes through net/wire.hpp)"
+  done < <(strip_comments "$f" \
+           | grep -nE '#[[:space:]]*include[[:space:]]*<(sys/socket\.h|sys/un\.h|netinet/[^>]+|arpa/[^>]+|netdb\.h)>' \
+           | cut -d: -f1 | sed 's/$/:/')
+done
+
 # NOLINT policy: only the narrow check-scoped forms are allowed —
 # NOLINT(check), NOLINTNEXTLINE(check), NOLINTBEGIN(check)/NOLINTEND(check).
 for f in "${sources[@]}"; do

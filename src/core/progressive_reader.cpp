@@ -545,6 +545,11 @@ RetrievalStats ProgressiveReader<T>::execute(const RetrievalPlan& p) {
     throw std::logic_error(
         "execute: stale plan (the reader advanced since plan() ran)");
   }
+  if (mirror_) {
+    throw std::logic_error(
+        "execute: reader is a plan-pricing mirror (acknowledge() ran); it "
+        "holds no decoded state to refine");
+  }
   const std::size_t entry = src_.stats().bytes_read;
 
   // One bulk fetch for everything the plan names — base, aux and plane
@@ -593,6 +598,49 @@ RetrievalStats ProgressiveReader<T>::execute(const RetrievalPlan& p) {
     // (tracked per block in decode_and_reconstruct), never the floor.
     planes_used_ = p.plane_targets;
   }
+  RetrievalStats st = finish_stats(before);
+  if (p.region_scoped) {
+    st.guaranteed_error = region_guarantee(p.blocks, nullptr, nullptr);
+  }
+  return st;
+}
+
+template <typename T>
+RetrievalStats ProgressiveReader<T>::acknowledge(const RetrievalPlan& p) {
+  if (p.epoch != epoch_) {
+    throw std::logic_error(
+        "acknowledge: stale plan (the reader advanced since plan() ran)");
+  }
+  if (!xhat_.empty()) {
+    throw std::logic_error(
+        "acknowledge: reader already holds decoded state; a pricing mirror "
+        "must never execute()");
+  }
+  ++epoch_;
+  mirror_ = true;
+  // The caller fetched the plan's segments through src_ before calling, so
+  // the ledger already moved by exactly the payload volume; backing
+  // p.bytes_new out of it reproduces execute()'s `before` point (and folds
+  // the open-cost attribution in, since plans price it).
+  const std::size_t now = src_.stats().bytes_read;
+  const std::size_t before = now >= p.bytes_new ? now - p.bytes_new : 0;
+  unattributed_open_cost_ = 0;
+
+  for (const SegmentId& id : p.segments) {
+    BlockState& bs = blocks_[id.block];
+    if (id.kind == kSegBase) {
+      bs.base_loaded = true;
+    } else if (id.kind == kSegPlane) {
+      const std::size_t sz = src_.segment_size(id);
+      fetched_plane_bytes_[id.level - 1][id.plane] += sz;
+      const LevelHeader& lh = levels_of(id.block)[id.level - 1];
+      bs.planes_used[id.level - 1] =
+          std::max(bs.planes_used[id.level - 1], lh.n_planes - id.plane);
+    }
+    // kSegAux rides along with the base; nothing to track.
+  }
+  if (!p.region_scoped) planes_used_ = p.plane_targets;
+
   RetrievalStats st = finish_stats(before);
   if (p.region_scoped) {
     st.guaranteed_error = region_guarantee(p.blocks, nullptr, nullptr);

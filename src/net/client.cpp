@@ -1,0 +1,254 @@
+#include "net/client.hpp"
+
+namespace ipcomp::net {
+
+// ---- StagedSource ---------------------------------------------------------
+
+Bytes StagedSource::read_segment(SegmentId id) {
+  std::vector<Bytes> one = read_many({&id, 1});
+  return std::move(one.front());
+}
+
+std::vector<Bytes> StagedSource::read_many(std::span<const SegmentId> ids) {
+  std::vector<Bytes> out;
+  out.reserve(ids.size());
+  std::size_t delivered = 0;
+  for (const SegmentId& id : ids) {
+    auto it = staged_.find(id.key(version_));
+    if (it == staged_.end()) {
+      throw std::runtime_error(
+          "remote: server did not deliver a planned segment");
+    }
+    delivered += it->second.size();
+    out.push_back(std::move(it->second));
+    staged_.erase(it);
+  }
+  count_read_call();
+  charge_bytes(delivered);
+  return out;
+}
+
+std::size_t StagedSource::segment_size(SegmentId id) const {
+  auto it = sizes_.find(id.key(version_));
+  if (it == sizes_.end()) {
+    throw std::invalid_argument("remote: unknown segment id");
+  }
+  return it->second;
+}
+
+std::vector<SegmentId> StagedSource::segment_ids() const {
+  std::vector<SegmentId> out;
+  out.reserve(order_.size());
+  for (std::uint64_t key : order_) {
+    out.push_back(SegmentId::from_key(key, version_));
+  }
+  return out;
+}
+
+// ---- RemoteArchive --------------------------------------------------------
+
+namespace {
+
+/// Server ERROR frame -> the exception the matching local call would throw.
+[[noreturn]] void throw_mapped(const RemoteError& e) {
+  switch (e.code()) {
+    case ErrCode::kQuotaExceeded:
+      throw QuotaExceeded(e.a(), e.b());
+    case ErrCode::kStalePlan:
+    case ErrCode::kUnknownToken:
+      throw std::logic_error(e.what());
+    case ErrCode::kBadRequest:
+      throw std::invalid_argument(e.what());
+    default:
+      throw e;
+  }
+}
+
+}  // namespace
+
+RemoteArchive::RemoteArchive(const std::string& spec, const std::string& name,
+                             int timeout_ms)
+    : ch_([&] {
+        Socket s = dial(spec);
+        s.set_timeouts(timeout_ms, timeout_ms);
+        return s;
+      }(),
+          kMaxFrameBytes) {
+  // HELLO.
+  {
+    ByteWriter w;
+    w.u32(kWireVersion);
+    ch_.send(Op::kHello, w);
+    Frame f = expect_reply(Op::kHelloOk);
+    ByteReader r({f.body.data(), f.body.size()});
+    if (r.u32() != kWireVersion) {
+      throw WireError(WireError::Kind::kProtocol,
+                      "server accepted HELLO with a different version");
+    }
+  }
+  // OPEN: prime the staged source from the reply.
+  {
+    ByteWriter w;
+    w.string(name);
+    ch_.send(Op::kOpen, w);
+    Frame f = expect_reply(Op::kOpenOk);
+    ByteReader r({f.body.data(), f.body.size()});
+    open_id_ = r.u32();
+    src_.version_ = r.u32();
+    src_.total_size_ = r.varint();
+    src_.open_cost_ = r.varint();
+    const std::size_t header_len = r.varint();
+    auto header = r.bytes(header_len);
+    src_.header_.assign(header.begin(), header.end());
+    const std::size_t n = r.varint();
+    src_.order_.reserve(n);
+    src_.sizes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = r.u64();
+      const std::size_t size = r.varint();
+      src_.order_.push_back(key);
+      src_.sizes_.emplace(key, size);
+    }
+    if (!r.at_end()) {
+      throw WireError(WireError::Kind::kProtocol,
+                      "trailing bytes in OPEN_OK");
+    }
+  }
+}
+
+Frame RemoteArchive::expect_reply(Op expect) {
+  std::optional<Frame> f = ch_.recv();
+  if (!f) {
+    throw WireError(WireError::Kind::kClosed, "server closed the connection");
+  }
+  if (f->is(Op::kError)) {
+    ByteReader r({f->body.data(), f->body.size()});
+    throw_mapped(read_error(r));
+  }
+  if (!f->is(expect)) {
+    throw WireError(WireError::Kind::kProtocol,
+                    "unexpected reply opcode " + std::to_string(f->op));
+  }
+  return std::move(*f);
+}
+
+PlanReply RemoteArchive::plan_remote(std::uint64_t epoch, const Request& req) {
+  ByteWriter w;
+  w.u32(open_id_);
+  w.u64(epoch);
+  write_request(w, req);
+  ch_.send(Op::kPlan, w);
+  Frame f = expect_reply(Op::kPlanOk);
+  ByteReader r({f.body.data(), f.body.size()});
+  PlanReply rep;
+  rep.token = r.varint();
+  rep.bytes_new = r.varint();
+  rep.guaranteed_error = r.f64();
+  rep.n_segments = r.varint();
+  rep.epoch = r.varint();
+  return rep;
+}
+
+ExecReply RemoteArchive::execute_remote(std::uint64_t token) {
+  ByteWriter w;
+  w.u32(open_id_);
+  w.varint(token);
+  ch_.send(Op::kExecute, w);
+  last_payload_bytes_ = 0;
+  while (true) {
+    std::optional<Frame> got = ch_.recv();
+    if (!got) {
+      throw WireError(WireError::Kind::kClosed,
+                      "server closed the connection mid-execute");
+    }
+    Frame f = std::move(*got);
+    if (f.is(Op::kError)) {
+      ByteReader r({f.body.data(), f.body.size()});
+      throw_mapped(read_error(r));
+    }
+    if (!f.is(Op::kSegment) && !f.is(Op::kExecuteOk)) {
+      throw WireError(WireError::Kind::kProtocol,
+                      "unexpected reply opcode " + std::to_string(f.op));
+    }
+    if (f.is(Op::kSegment)) {
+      ByteReader r({f.body.data(), f.body.size()});
+      const std::uint64_t key = r.u64();
+      auto payload = r.bytes(r.remaining());
+      last_payload_bytes_ += payload.size();
+      wire_payload_bytes_ += payload.size();
+      src_.stage(key, Bytes(payload.begin(), payload.end()));
+      continue;
+    }
+    ByteReader r({f.body.data(), f.body.size()});
+    ExecReply rep;
+    rep.bytes_new = r.varint();
+    rep.bytes_total = r.varint();
+    rep.guaranteed_error = r.f64();
+    rep.bitrate = r.f64();
+    return rep;
+  }
+}
+
+ServeStats RemoteArchive::stat() {
+  ch_.send(Op::kStat, ByteWriter{});
+  Frame f = expect_reply(Op::kStatOk);
+  ByteReader r({f.body.data(), f.body.size()});
+  return read_serve_stats(r);
+}
+
+void RemoteArchive::close() {
+  ByteWriter w;
+  w.u32(open_id_);
+  ch_.send(Op::kClose, w);
+  expect_reply(Op::kCloseOk);
+  ch_.socket().shutdown_both();
+}
+
+// ---- RemoteReader ---------------------------------------------------------
+
+template <typename T>
+std::string RemoteReader<T>::plan_fingerprint(const RetrievalPlan& p) {
+  ByteWriter w;
+  w.varint(p.epoch);
+  write_request(w, p.request);
+  const Bytes b = w.take();
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+template <typename T>
+RetrievalPlan RemoteReader<T>::plan(const Request& req) {
+  RetrievalPlan p = reader_.plan(req);
+  const PlanReply rep = archive_.plan_remote(p.epoch, req);
+  if (rep.bytes_new != p.bytes_new || rep.n_segments != p.segments.size() ||
+      rep.epoch != p.epoch) {
+    throw std::runtime_error(
+        "remote: server plan disagrees with the local mirror (config or "
+        "version drift)");
+  }
+  tokens_[plan_fingerprint(p)] = rep.token;
+  return p;
+}
+
+template <typename T>
+RetrievalStats RemoteReader<T>::execute(const RetrievalPlan& p) {
+  auto it = tokens_.find(plan_fingerprint(p));
+  if (it == tokens_.end()) {
+    throw std::logic_error(
+        "execute: plan was not produced by this reader's plan() (or is "
+        "stale)");
+  }
+  const ExecReply rep = archive_.execute_remote(it->second);
+  RetrievalStats st = reader_.execute(p);
+  if (st.bytes_new != rep.bytes_new) {
+    throw std::runtime_error(
+        "remote: execution accounting disagrees with the server");
+  }
+  // The reader advanced; every outstanding token priced the old state.
+  tokens_.clear();
+  return st;
+}
+
+template class RemoteReader<float>;
+template class RemoteReader<double>;
+
+}  // namespace ipcomp::net

@@ -1,0 +1,173 @@
+// Remote progressive retrieval: the client side of net/wire.hpp.
+//
+// RemoteReader<T> mirrors ProgressiveReader's plan/execute/retrieve lifecycle
+// over a daemon connection.  The trick that keeps it byte-identical to a
+// local reader: the client runs its *own* ProgressiveReader over a
+// StagedSource primed from the OPEN reply (header bytes, segment table,
+// open cost), so plan() prices locally with exactly the server's arithmetic;
+// PLAN round-trips only to reserve a server-side token and cross-check the
+// price.  EXECUTE streams the still-compressed segment payloads into the
+// staging area and the local reader decodes them — so a refinement moves
+// only the plan's bytes_new across the wire, never re-sending what the
+// client already holds.
+//
+// Thread contract: externally-synchronized — one RemoteReader (and the
+// RemoteArchive/connection under it) belongs to one client thread, exactly
+// like the local reader it mirrors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/progressive_reader.hpp"
+#include "net/wire.hpp"
+#include "serve/session.hpp"
+
+namespace ipcomp::net {
+
+/// SegmentSource primed over the wire: immutable index/header from OPEN,
+/// payloads staged by EXECUTE and consumed by the local reader.  Charges its
+/// ledger exactly like the server-side SessionSource (open cost at the first
+/// header fetch, delivered payload bytes per batch), so budget-driven plans
+/// price identically on both ends.
+class StagedSource final : public SegmentSource {
+ public:
+  const Bytes& header() override {
+    if (!header_charged_) {
+      charge_bytes(open_cost_);
+      count_read_call();
+      header_charged_ = true;
+    }
+    return header_;
+  }
+  Bytes read_segment(SegmentId id) override;
+  /// Serves previously staged payloads; throws std::runtime_error if the
+  /// server did not deliver one of `ids` (protocol violation).
+  std::vector<Bytes> read_many(std::span<const SegmentId> ids) override;
+  bool has_segment(SegmentId id) const override {
+    return sizes_.count(id.key(version_)) != 0;
+  }
+  std::size_t segment_size(SegmentId id) const override;
+  std::vector<SegmentId> segment_ids() const override;
+  std::uint32_t version() const override { return version_; }
+  std::size_t total_size() const override { return total_size_; }
+  /// Header + segment-table cost the server reported at OPEN (charged to
+  /// this source's ledger on the first header fetch, like any local source).
+  std::size_t open_cost() const { return open_cost_; }
+
+ private:
+  friend class RemoteArchive;
+
+  void stage(std::uint64_t key, Bytes payload) {
+    staged_[key] = std::move(payload);
+  }
+
+  Bytes header_;
+  std::size_t open_cost_ = 0;
+  bool header_charged_ = false;
+  std::uint32_t version_ = 0;
+  std::size_t total_size_ = 0;
+  std::unordered_map<std::uint64_t, std::size_t> sizes_;
+  std::vector<std::uint64_t> order_;  // table order, for segment_ids()
+  std::unordered_map<std::uint64_t, Bytes> staged_;
+};
+
+/// PLAN_OK payload: the server-side reservation for one plan.
+struct PlanReply {
+  std::uint64_t token = 0;
+  std::uint64_t bytes_new = 0;
+  double guaranteed_error = 0.0;
+  std::uint64_t n_segments = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// EXECUTE_OK payload: the stats the server's session recorded.
+struct ExecReply {
+  std::uint64_t bytes_new = 0;
+  std::uint64_t bytes_total = 0;
+  double guaranteed_error = 0.0;
+  double bitrate = 0.0;
+};
+
+/// One dialed connection with one archive OPENed on it.  Speaks raw frames;
+/// RemoteReader<T> supplies the reader lifecycle on top.  Server ERROR
+/// frames surface as typed exceptions: kQuotaExceeded -> QuotaExceeded,
+/// kStalePlan/kUnknownToken -> std::logic_error, kBadRequest ->
+/// std::invalid_argument, anything else -> RemoteError.
+class RemoteArchive {
+ public:
+  /// Dial `spec` ("host:port" or "unix:/path"), HELLO, and OPEN `name`.
+  RemoteArchive(const std::string& spec, const std::string& name,
+                int timeout_ms = 30000);
+  RemoteArchive(const RemoteArchive&) = delete;
+  RemoteArchive& operator=(const RemoteArchive&) = delete;
+
+  /// The wire-primed source the local mirror reader plugs into.
+  StagedSource& source() { return src_; }
+
+  PlanReply plan_remote(std::uint64_t epoch, const Request& req);
+  /// Streams the token's segment payloads into source()'s staging area.
+  ExecReply execute_remote(std::uint64_t token);
+  ServeStats stat();
+  /// CLOSE the archive and say goodbye; the connection drops.
+  void close();
+
+  /// Segment payload bytes received over the wire, total and for the most
+  /// recent execute_remote (the "bytes on wire" half of the transfer-savings
+  /// story; compare with RetrievalStats::bytes_new).
+  std::uint64_t wire_payload_bytes() const { return wire_payload_bytes_; }
+  std::uint64_t last_payload_bytes() const { return last_payload_bytes_; }
+
+ private:
+  /// Receive one frame, unwrap ERROR frames into typed exceptions, and
+  /// insist on `expect`.
+  Frame expect_reply(Op expect);
+
+  FrameChannel ch_;
+  std::uint32_t open_id_ = 0;
+  StagedSource src_;
+  std::uint64_t wire_payload_bytes_ = 0;
+  std::uint64_t last_payload_bytes_ = 0;
+};
+
+/// Drop-in remote counterpart of ProgressiveReader<T>: same
+/// plan/execute/retrieve surface, same stats, byte-identical reconstruction
+/// for the same request sequence.  The reader config is pinned to defaults —
+/// the server's pricing mirror uses defaults, and the two must agree for
+/// plans to match.
+template <typename T>
+class RemoteReader {
+ public:
+  RemoteReader(const std::string& spec, const std::string& name,
+               int timeout_ms = 30000)
+      : archive_(spec, name, timeout_ms), reader_(archive_.source()) {}
+  RemoteReader(const RemoteReader&) = delete;
+  RemoteReader& operator=(const RemoteReader&) = delete;
+
+  /// Price `req` locally (exact, no I/O beyond the PLAN round-trip) and
+  /// reserve the matching server-side token.  Throws std::runtime_error if
+  /// the server's price disagrees with the local mirror — protocol drift.
+  RetrievalPlan plan(const Request& req);
+  /// Pull the plan's segments over the wire and decode them locally.
+  RetrievalStats execute(const RetrievalPlan& p);
+  RetrievalStats retrieve(const Request& req) { return execute(plan(req)); }
+
+  const std::vector<T>& data() const { return reader_.data(); }
+  const ProgressiveReader<T>& reader() const { return reader_; }
+  RemoteArchive& archive() { return archive_; }
+
+ private:
+  /// Identity of a plan at the current epoch, for token lookup at execute.
+  static std::string plan_fingerprint(const RetrievalPlan& p);
+
+  RemoteArchive archive_;
+  ProgressiveReader<T> reader_;
+  std::unordered_map<std::string, std::uint64_t> tokens_;
+};
+
+extern template class RemoteReader<float>;
+extern template class RemoteReader<double>;
+
+}  // namespace ipcomp::net

@@ -1,0 +1,131 @@
+// Progressive-retrieval daemon: the server side of net/wire.hpp.
+//
+// A Server listens on TCP or a Unix-domain socket and speaks the framed
+// protocol with any number of clients over a pool of acceptor/handler
+// threads.  Each connection owns per-archive serve::Sessions over the shared
+// ArchiveSet tier, so everything the in-process serving layer provides —
+// plan-admission byte quotas, the cross-archive segment LRU cache, pooled
+// deduplicated physical reads — applies to remote clients identically.  The
+// server never decodes: EXECUTE fetches the planned segments through the
+// session's cache-first source, streams the still-compressed payloads to the
+// client, and acknowledges the plan so the session's residency (and
+// therefore the *next* plan's pricing) advances exactly as if the client
+// were local.
+//
+// Archives are exported by name (export_file / export_memory) before
+// start(); OPEN resolves only exported names — a remote peer can never name
+// an arbitrary server-side path.  Per-connection receive timeouts reap idle
+// connections; stop() drains gracefully (stop accepting, give in-flight
+// frames a grace window, then shut the stragglers down).
+//
+// Thread contract: internally-synchronized.  export_*/start/stop/stats may
+// be called from any thread; handler threads only touch the internally-
+// synchronized shared tier plus their own connection state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "serve/archive_set.hpp"
+#include "util/sync.hpp"
+
+namespace ipcomp::net {
+
+struct ServerConfig {
+  /// "host:port" (port 0 = ephemeral, see Server::address()) or "unix:/path".
+  std::string listen = "127.0.0.1:0";
+  /// Connection handler threads == max concurrent connections (each handler
+  /// owns one connection at a time; excess connections queue in the kernel
+  /// backlog).
+  unsigned workers = 4;
+  /// Per-connection receive/send timeout; an idle connection is reaped when
+  /// it expires.  0 disables.
+  int idle_timeout_ms = 30000;
+  /// Byte quota for each (connection, archive) session; 0 = unlimited.
+  std::uint64_t session_quota = 0;
+  /// OPENs one connection may hold at once.
+  std::size_t max_opens_per_connection = 8;
+  /// Shared-tier sizing.  The daemon maps archives by default (MmapSource
+  /// falls back to FileSource on empty/over-cap files).
+  ServeOptions serve = {.use_mmap = true};
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Export the archive file at `path` under `name` (what clients OPEN).
+  /// The file is opened lazily, on the first OPEN that names it.
+  void export_file(const std::string& name, const std::string& path)
+      IPCOMP_EXCLUDES(mu_);
+  /// Export an in-memory archive blob under `name`.
+  void export_memory(const std::string& name, Bytes blob)
+      IPCOMP_EXCLUDES(mu_);
+
+  /// Bind the listen address and spawn the handler pool.  Throws on bind
+  /// failure (address in use, bad spec, ...).
+  void start();
+  /// Graceful drain: stop accepting, wait up to `grace_ms` for in-flight
+  /// connections to finish, then force-close the rest and join the pool.
+  /// Idempotent.
+  void stop(int grace_ms = 1000);
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Dialable address — with TCP port 0 this is the port actually bound.
+  /// Valid after start().
+  std::string address() const;
+
+  /// One server-wide snapshot: connection/frame/byte counters plus the
+  /// shared tier's physical-read and cache stats (what STAT returns).
+  ServeStats stats() const IPCOMP_EXCLUDES(mu_);
+
+ private:
+  struct Export {
+    std::string path;  // file exports
+    Bytes blob;        // memory exports
+    bool in_memory = false;
+  };
+  struct Counters;
+  struct ConnState;
+
+  void worker_loop();
+  void serve_connection(Socket sock);
+  bool handle_frame(FrameChannel& ch, ConnState& st, const Frame& f);
+  /// Resolve an exported name to an opened handle (opening on first use).
+  /// Throws RemoteError(kUnknownArchive) for unknown names.
+  std::shared_ptr<ArchiveHandle> open_export(const std::string& name)
+      IPCOMP_EXCLUDES(mu_);
+
+  void send_frame(FrameChannel& ch, Op op, const ByteWriter& w);
+  void send_error(FrameChannel& ch, ErrCode code, const std::string& message,
+                  std::uint64_t a = 0, std::uint64_t b = 0);
+
+  ServerConfig cfg_;
+  ArchiveSet set_;
+  std::unique_ptr<Listener> listener_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> running_{false};
+  std::unique_ptr<Counters> counters_;
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Export> exports_ IPCOMP_GUARDED_BY(mu_);
+  /// Opened handles by export name (ArchiveSet keys file handles by path;
+  /// the export namespace is the server's).
+  std::unordered_map<std::string, std::shared_ptr<ArchiveHandle>> opened_
+      IPCOMP_GUARDED_BY(mu_);
+  /// Sockets of live connections, for forced shutdown during drain.
+  std::unordered_map<std::uint64_t, Socket*> live_socks_ IPCOMP_GUARDED_BY(mu_);
+  std::uint64_t next_conn_id_ IPCOMP_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace ipcomp::net

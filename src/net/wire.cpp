@@ -1,0 +1,381 @@
+#include "net/wire.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ipcomp::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(WireError::Kind kind, const std::string& what) {
+  throw WireError(kind, what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw std::invalid_argument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_inet_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Numeric IPv4 only (plus the "localhost" convenience): the daemon is not
+  // in the name-resolution business, and a strict parse cannot block on DNS.
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("not a numeric IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Address Address::parse(const std::string& spec) {
+  Address a;
+  if (spec.rfind("unix:", 0) == 0) {
+    a.unix_domain = true;
+    a.host_or_path = spec.substr(5);
+    if (a.host_or_path.empty()) {
+      throw std::invalid_argument("empty unix socket path in: " + spec);
+    }
+    return a;
+  }
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw std::invalid_argument(
+        "address must be host:port or unix:/path, got: " + spec);
+  }
+  a.host_or_path = spec.substr(0, colon);
+  unsigned long port = 0;
+  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("bad port in address: " + spec);
+    }
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) throw std::invalid_argument("port out of range: " + spec);
+  }
+  a.port = static_cast<std::uint16_t>(port);
+  return a;
+}
+
+std::string Address::to_string() const {
+  return unix_domain ? "unix:" + host_or_path
+                     : host_or_path + ":" + std::to_string(port);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_timeouts(int recv_ms, int send_ms) {
+  auto set = [&](int opt, int ms) {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<decltype(tv.tv_usec)>((ms % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, opt, &tv, sizeof tv);
+  };
+  set(SO_RCVTIMEO, recv_ms);
+  set(SO_SNDTIMEO, send_ms);
+}
+
+Socket dial(const std::string& spec) {
+  const Address addr = Address::parse(spec);
+  Socket s(::socket(addr.unix_domain ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno(WireError::Kind::kIo, "socket");
+  int rc = 0;
+  if (addr.unix_domain) {
+    const sockaddr_un sa = make_unix_addr(addr.host_or_path);
+    rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  } else {
+    const sockaddr_in sa = make_inet_addr(addr.host_or_path, addr.port);
+    rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  }
+  if (rc != 0) throw_errno(WireError::Kind::kIo, "connect to " + spec);
+  return s;
+}
+
+Listener::Listener(const std::string& spec, int backlog)
+    : addr_(Address::parse(spec)) {
+  fd_ = Socket(::socket(addr_.unix_domain ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw_errno(WireError::Kind::kIo, "socket");
+  int rc = 0;
+  if (addr_.unix_domain) {
+    const sockaddr_un sa = make_unix_addr(addr_.host_or_path);
+    rc = ::bind(fd_.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  } else {
+    const int one = 1;
+    ::setsockopt(fd_.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    const sockaddr_in sa = make_inet_addr(addr_.host_or_path, addr_.port);
+    rc = ::bind(fd_.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  }
+  if (rc != 0) throw_errno(WireError::Kind::kIo, "bind " + spec);
+  if (::listen(fd_.fd(), backlog) != 0) {
+    throw_errno(WireError::Kind::kIo, "listen " + spec);
+  }
+  if (!addr_.unix_domain) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd_.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      throw_errno(WireError::Kind::kIo, "getsockname");
+    }
+    bound_port_ = ntohs(bound.sin_port);
+  }
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_.valid()) {
+    fd_.close();
+    // The daemon owns its socket file; remove it so the next bind succeeds.
+    if (addr_.unix_domain) ::unlink(addr_.host_or_path.c_str());
+  }
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_.fd();
+  pfd.events = POLLIN;
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n == 0) return std::nullopt;
+  if (n < 0) {
+    if (errno == EINTR) return std::nullopt;
+    throw_errno(WireError::Kind::kIo, "poll");
+  }
+  Socket s(::accept(fd_.fd(), nullptr, nullptr));
+  // A connection that vanished between poll and accept is just a timeout.
+  if (!s.valid()) return std::nullopt;
+  return s;
+}
+
+std::string Listener::address() const {
+  Address a = addr_;
+  if (!a.unix_domain) a.port = bound_port_;
+  return a.to_string();
+}
+
+void FrameChannel::send(Op op, std::span<const std::uint8_t> body) {
+  if (body.size() + 1 > kMaxFrameBytes) {
+    throw WireError(WireError::Kind::kProtocol, "frame too large to send");
+  }
+  ByteWriter head;
+  head.u32(static_cast<std::uint32_t>(body.size() + 1));
+  head.u8(static_cast<std::uint8_t>(op));
+  auto send_all = [&](const std::uint8_t* data, std::size_t len) {
+    while (len > 0) {
+      const ssize_t n = ::send(sock_.fd(), data, len, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          throw WireError(WireError::Kind::kTimeout, "send timed out");
+        }
+        throw_errno(WireError::Kind::kIo, "send");
+      }
+      data += n;
+      len -= static_cast<std::size_t>(n);
+      bytes_out_ += static_cast<std::uint64_t>(n);
+    }
+  };
+  send_all(head.buffer().data(), head.buffer().size());
+  send_all(body.data(), body.size());
+}
+
+std::optional<Frame> FrameChannel::recv() {
+  // `eof_ok` is true only at the frame boundary: EOF there is a clean
+  // disconnect, EOF anywhere later is a truncated frame.
+  auto recv_all = [&](std::uint8_t* data, std::size_t len, bool eof_ok) {
+    std::size_t got = 0;
+    while (got < len) {
+      const ssize_t n = ::recv(sock_.fd(), data + got, len - got, 0);
+      if (n == 0) {
+        if (eof_ok && got == 0) return false;
+        throw WireError(WireError::Kind::kClosed, "peer closed mid-frame");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          throw WireError(WireError::Kind::kTimeout, "recv timed out");
+        }
+        throw_errno(WireError::Kind::kIo, "recv");
+      }
+      got += static_cast<std::size_t>(n);
+      bytes_in_ += static_cast<std::uint64_t>(n);
+    }
+    return true;
+  };
+
+  std::uint8_t head[4];
+  if (!recv_all(head, sizeof head, /*eof_ok=*/true)) return std::nullopt;
+  const std::uint32_t len = static_cast<std::uint32_t>(head[0]) |
+                            static_cast<std::uint32_t>(head[1]) << 8 |
+                            static_cast<std::uint32_t>(head[2]) << 16 |
+                            static_cast<std::uint32_t>(head[3]) << 24;
+  // A frame is at least its opcode byte; the cap keeps a forged length from
+  // turning into a giant allocation + a long blocking read.
+  if (len == 0 || len > max_frame_) {
+    throw WireError(WireError::Kind::kProtocol,
+                    "bad frame length " + std::to_string(len));
+  }
+  Frame f;
+  Bytes buf(len);
+  recv_all(buf.data(), buf.size(), /*eof_ok=*/false);
+  f.op = buf[0];
+  f.body.assign(buf.begin() + 1, buf.end());
+  return f;
+}
+
+// ---- body serialization ---------------------------------------------------
+
+namespace {
+// Request target tags on the wire.
+constexpr std::uint8_t kTargetFull = 0;
+constexpr std::uint8_t kTargetErrorBound = 1;
+constexpr std::uint8_t kTargetByteBudget = 2;
+constexpr std::uint8_t kTargetBitrate = 3;
+}  // namespace
+
+void write_request(ByteWriter& w, const Request& req) {
+  if (std::holds_alternative<Request::Full>(req.target)) {
+    w.u8(kTargetFull);
+  } else if (const auto* eb = std::get_if<Request::ErrorBound>(&req.target)) {
+    w.u8(kTargetErrorBound);
+    w.f64(eb->target);
+  } else if (const auto* bb = std::get_if<Request::ByteBudget>(&req.target)) {
+    w.u8(kTargetByteBudget);
+    w.varint(bb->budget);
+  } else {
+    w.u8(kTargetBitrate);
+    w.f64(std::get<Request::Bitrate>(req.target).bits_per_value);
+  }
+  w.u8(req.region.has_value() ? 1 : 0);
+  if (req.region) {
+    for (std::size_t i = 0; i < kMaxRank; ++i) w.varint(req.region->lo[i]);
+    for (std::size_t i = 0; i < kMaxRank; ++i) w.varint(req.region->hi[i]);
+  }
+}
+
+Request read_request(ByteReader& r) {
+  Request req;
+  switch (r.u8()) {
+    case kTargetFull:
+      req.target = Request::Full{};
+      break;
+    case kTargetErrorBound:
+      req.target = Request::ErrorBound{r.f64()};
+      break;
+    case kTargetByteBudget:
+      req.target = Request::ByteBudget{r.varint()};
+      break;
+    case kTargetBitrate:
+      req.target = Request::Bitrate{r.f64()};
+      break;
+    default:
+      throw std::runtime_error("wire: unknown request target tag");
+  }
+  switch (r.u8()) {
+    case 0:
+      break;
+    case 1: {
+      RegionBox box;
+      for (std::size_t i = 0; i < kMaxRank; ++i) box.lo[i] = r.varint();
+      for (std::size_t i = 0; i < kMaxRank; ++i) box.hi[i] = r.varint();
+      req.region = box;
+      break;
+    }
+    default:
+      throw std::runtime_error("wire: bad region flag");
+  }
+  return req;
+}
+
+void write_serve_stats(ByteWriter& w, const ServeStats& s) {
+  w.varint(s.connections_accepted);
+  w.varint(s.connections_active);
+  w.varint(s.idle_reaped);
+  w.varint(s.frames_in);
+  w.varint(s.frames_out);
+  w.varint(s.frames_by_opcode.size());
+  for (std::uint64_t v : s.frames_by_opcode) w.varint(v);
+  w.varint(s.wire_bytes_in);
+  w.varint(s.wire_bytes_out);
+  w.varint(s.payload_bytes_sent);
+  w.varint(s.errors_sent);
+  w.varint(s.quota_rejections);
+  w.varint(s.physical_bytes_read);
+  w.varint(s.physical_read_calls);
+  w.varint(s.cache.hits);
+  w.varint(s.cache.misses);
+  w.varint(s.cache.evictions);
+  w.varint(s.cache.resident_bytes);
+  w.varint(s.cache.capacity_bytes);
+  w.varint(s.cache.entries);
+}
+
+ServeStats read_serve_stats(ByteReader& r) {
+  ServeStats s;
+  s.connections_accepted = r.varint();
+  s.connections_active = r.varint();
+  s.idle_reaped = r.varint();
+  s.frames_in = r.varint();
+  s.frames_out = r.varint();
+  const std::uint64_t n_ops = r.varint();
+  if (n_ops > 64) throw std::runtime_error("wire: absurd opcode-count table");
+  s.frames_by_opcode.assign(n_ops, 0);
+  for (std::uint64_t& v : s.frames_by_opcode) v = r.varint();
+  s.frames_by_opcode.resize(kRequestOpCount + 1, 0);
+  s.wire_bytes_in = r.varint();
+  s.wire_bytes_out = r.varint();
+  s.payload_bytes_sent = r.varint();
+  s.errors_sent = r.varint();
+  s.quota_rejections = r.varint();
+  s.physical_bytes_read = r.varint();
+  s.physical_read_calls = r.varint();
+  s.cache.hits = r.varint();
+  s.cache.misses = r.varint();
+  s.cache.evictions = r.varint();
+  s.cache.resident_bytes = r.varint();
+  s.cache.capacity_bytes = r.varint();
+  s.cache.entries = r.varint();
+  return s;
+}
+
+void write_error(ByteWriter& w, ErrCode code, const std::string& message,
+                 std::uint64_t a, std::uint64_t b) {
+  w.u16(static_cast<std::uint16_t>(code));
+  w.string(message);
+  w.varint(a);
+  w.varint(b);
+}
+
+RemoteError read_error(ByteReader& r) {
+  const auto code = static_cast<ErrCode>(r.u16());
+  std::string message = r.string();
+  const std::uint64_t a = r.varint();
+  const std::uint64_t b = r.varint();
+  return {code, message, a, b};
+}
+
+}  // namespace ipcomp::net

@@ -1,0 +1,275 @@
+// Wire protocol for the progressive-retrieval daemon.
+//
+// Frames are length-prefixed binary: `u32 length | u8 opcode | body`, where
+// `length` counts the opcode byte plus the body, little-endian like every
+// archive integer.  Bodies are built on io/bytes.hpp — the same varint
+// writers/readers the archive container uses — so forged frames meet the
+// same strict rejection discipline as forged archives: capped lengths,
+// overflow-safe varints, exact-consumption body parses, unknown-opcode
+// errors.  Nothing on either side of the connection trusts the peer.
+//
+// Conversation lifecycle (client frames -> server replies):
+//   HELLO(version)        -> HELLO_OK(version)      must be the first frame
+//   OPEN(name)            -> OPEN_OK(open_id, archive version/size/open
+//                            cost, header bytes, segment table)
+//   PLAN(open_id, epoch,  -> PLAN_OK(token, bytes_new, guaranteed_error,
+//        Request)            n_segments, epoch)
+//   EXECUTE(open_id,      -> SEGMENT(key, payload) ... per planned segment,
+//           token)           then EXECUTE_OK(stats)
+//   STAT()                -> STAT_OK(ServeStats)
+//   CLOSE(open_id)        -> CLOSE_OK()
+//   anything invalid      -> ERROR(code, message, a, b)
+//
+// The transport is TCP ("host:port") or a Unix-domain socket ("unix:/path").
+// Socket/Listener/FrameChannel are thin RAII wrappers over POSIX sockets —
+// the only place in the tree allowed to touch them (scripts/check.sh
+// confines socket headers to src/net/).
+//
+// Thread contract: externally-synchronized — one Socket/FrameChannel belongs
+// to one connection handler or one client.  Listener::accept may be called
+// from many acceptor threads concurrently (accept(2) is atomic per
+// connection).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/request.hpp"
+#include "io/bytes.hpp"
+#include "serve/cache.hpp"
+
+namespace ipcomp::net {
+
+/// Protocol version exchanged in HELLO; bumped on any incompatible change.
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Hard cap on a frame a *client* accepts: segment payloads ride in single
+/// frames, so this bounds the largest single segment (256 MiB is far above
+/// any real base segment).
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{256} << 20;
+/// Hard cap on a frame a *server* accepts: requests are names + serialized
+/// Requests, all tiny, so the inbound cap is much tighter — a forged length
+/// can make the server allocate at most this much.
+inline constexpr std::size_t kMaxRequestFrameBytes = std::size_t{64} << 10;
+
+enum class Op : std::uint8_t {
+  // Client -> server.
+  kHello = 0x01,
+  kOpen = 0x02,
+  kPlan = 0x03,
+  kExecute = 0x04,
+  kStat = 0x05,
+  kClose = 0x06,
+  // Server -> client.
+  kHelloOk = 0x81,
+  kOpenOk = 0x82,
+  kPlanOk = 0x83,
+  kSegment = 0x84,
+  kExecuteOk = 0x85,
+  kStatOk = 0x86,
+  kCloseOk = 0x87,
+  kError = 0xFF,
+};
+
+/// Number of request opcodes (kHello..kClose are contiguous from 0x01).
+inline constexpr std::size_t kRequestOpCount = 6;
+/// Stats slot for a raw request opcode: 0..kRequestOpCount-1 per opcode,
+/// kRequestOpCount for anything unknown.
+inline std::size_t op_slot(std::uint8_t raw) {
+  return raw >= 1 && raw <= kRequestOpCount ? raw - 1 : kRequestOpCount;
+}
+
+enum class ErrCode : std::uint16_t {
+  kBadFrame = 1,       // malformed frame or body (connection closes)
+  kBadVersion = 2,     // HELLO version mismatch (connection closes)
+  kBadSequence = 3,    // frame before HELLO, or an unknown open_id
+  kUnknownOpcode = 4,  // opcode the server does not speak (connection stays)
+  kUnknownArchive = 5, // OPEN of a name the server does not export
+  kBadRequest = 6,     // Request that fails validation (e.g. bad region)
+  kStalePlan = 7,      // PLAN/EXECUTE epoch does not match the session
+  kUnknownToken = 8,   // EXECUTE of a token the server no longer holds
+  kQuotaExceeded = 9,  // plan admission failed; a = needed, b = remaining
+  kTooManyArchives = 10,  // per-connection open limit reached
+  kInternal = 11,      // I/O or other server-side failure
+};
+
+/// One received frame: opcode byte (possibly unknown) + body bytes.
+struct Frame {
+  std::uint8_t op = 0;
+  Bytes body;
+
+  bool is(Op o) const { return op == static_cast<std::uint8_t>(o); }
+};
+
+/// Peer closed or timed out in the middle of a frame, or sent one that
+/// violates the framing rules (zero/oversized length).  Distinct from
+/// std::runtime_error so handlers can reap quietly instead of reporting.
+class WireError : public std::runtime_error {
+ public:
+  enum class Kind { kProtocol, kTimeout, kClosed, kIo };
+  WireError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// The ERROR frame a server explains a rejection with; client-side it is
+/// rethrown as a typed exception (QuotaExceeded, logic_error, ...).
+class RemoteError : public std::runtime_error {
+ public:
+  RemoteError(ErrCode code, const std::string& message, std::uint64_t a,
+              std::uint64_t b)
+      : std::runtime_error(message), code_(code), a_(a), b_(b) {}
+  ErrCode code() const { return code_; }
+  std::uint64_t a() const { return a_; }
+  std::uint64_t b() const { return b_; }
+
+ private:
+  ErrCode code_;
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+/// Parsed listen/dial address: "unix:/path" or "host:port" (numeric IPv4 or
+/// a resolvable hostname; port 0 asks the kernel for an ephemeral port).
+struct Address {
+  bool unix_domain = false;
+  std::string host_or_path;
+  std::uint16_t port = 0;
+
+  static Address parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+/// RAII owner of one connected socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  /// Half-close both directions without releasing the descriptor: any
+  /// blocked recv on another thread returns immediately (drain/reap path).
+  void shutdown_both();
+  /// 0 disables the corresponding timeout.
+  void set_timeouts(int recv_ms, int send_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to `spec` ("host:port" or "unix:/path").  Throws on failure.
+Socket dial(const std::string& spec);
+
+/// Bound + listening server socket.
+class Listener {
+ public:
+  explicit Listener(const std::string& spec, int backlog = 64);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accept one connection, waiting at most `timeout_ms`; std::nullopt on
+  /// timeout (acceptor loops poll their stop flag between waits).
+  std::optional<Socket> accept(int timeout_ms);
+
+  /// The dialable address — for TCP with port 0 this reports the port the
+  /// kernel actually bound.
+  std::string address() const;
+  std::uint16_t port() const { return bound_port_; }
+  void close();
+
+ private:
+  Socket fd_;
+  Address addr_;
+  std::uint16_t bound_port_ = 0;
+};
+
+/// Frame I/O over one socket: length-prefixed send/recv with a hard cap on
+/// accepted frame length, plus wire byte counters for the stats surface.
+class FrameChannel {
+ public:
+  FrameChannel(Socket sock, std::size_t max_frame)
+      : sock_(std::move(sock)), max_frame_(max_frame) {}
+
+  /// Send one frame (blocking, complete).  Throws WireError on failure.
+  void send(Op op, std::span<const std::uint8_t> body);
+  void send(Op op, const ByteWriter& w) { send(op, {w.buffer().data(), w.buffer().size()}); }
+
+  /// Receive one frame.  std::nullopt on clean EOF at a frame boundary;
+  /// WireError(kTimeout) when the socket's receive timeout expires,
+  /// WireError(kProtocol) on a zero/oversized length, WireError(kClosed) on
+  /// EOF mid-frame.
+  std::optional<Frame> recv();
+
+  Socket& socket() { return sock_; }
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+
+ private:
+  Socket sock_;
+  std::size_t max_frame_;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+// ---- body serialization ---------------------------------------------------
+
+/// Request <-> bytes (target tag + value, optional region box).  Reading is
+/// strict: unknown tags and truncated bodies throw std::runtime_error.
+void write_request(ByteWriter& w, const Request& req);
+Request read_request(ByteReader& r);
+
+/// Server-wide counters returned by STAT and printed by the CLI.
+struct ServeStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t idle_reaped = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  /// Per request opcode (op_slot order: HELLO, OPEN, PLAN, EXECUTE, STAT,
+  /// CLOSE, unknown).
+  std::vector<std::uint64_t> frames_by_opcode =
+      std::vector<std::uint64_t>(kRequestOpCount + 1, 0);
+  std::uint64_t wire_bytes_in = 0;
+  std::uint64_t wire_bytes_out = 0;
+  /// Logical volume: segment payload bytes streamed to clients.
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t errors_sent = 0;
+  std::uint64_t quota_rejections = 0;
+  /// Physical volume: what the opened archives' base sources actually read.
+  std::uint64_t physical_bytes_read = 0;
+  std::uint64_t physical_read_calls = 0;
+  /// Shared cross-archive segment cache.
+  CacheStats cache;
+};
+
+void write_serve_stats(ByteWriter& w, const ServeStats& s);
+ServeStats read_serve_stats(ByteReader& r);
+
+/// ERROR frame body helpers.
+void write_error(ByteWriter& w, ErrCode code, const std::string& message,
+                 std::uint64_t a, std::uint64_t b);
+RemoteError read_error(ByteReader& r);
+
+}  // namespace ipcomp::net

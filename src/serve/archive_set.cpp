@@ -1,14 +1,28 @@
 #include "serve/archive_set.hpp"
 
+#include <atomic>
 #include <utility>
+
+#include "io/mmap_source.hpp"
 
 namespace ipcomp {
 
+namespace {
+/// Process-unique archive serials for CacheKey::archive.  Starts at 1 so 0
+/// never names a live archive.
+std::uint64_t next_serial() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 ArchiveHandle::ArchiveHandle(std::unique_ptr<SegmentSource> base,
-                             const ServeOptions& opts)
+                             std::shared_ptr<SegmentCache> cache,
+                             unsigned io_threads)
     : base_(std::move(base)),
-      pooled_(*base_, opts.io_threads),
-      cache_(opts.cache_capacity_bytes) {
+      pooled_(*base_, io_threads),
+      cache_(std::move(cache)),
+      serial_(next_serial()) {
   // Fetch the header through the pool so the pool mirrors the open cost into
   // its own accounting; construction is single-threaded, satisfying
   // header()'s serialization requirement once and for all.
@@ -24,12 +38,13 @@ Bytes SessionSource::read_segment(SegmentId id) {
 std::vector<Bytes> SessionSource::read_many(std::span<const SegmentId> ids) {
   std::vector<Bytes> out(ids.size());
   const std::uint32_t ver = handle_->version();
+  const std::uint64_t serial = handle_->serial();
   SegmentCache& cache = handle_->cache();
 
   std::vector<SegmentId> missing;
   std::vector<std::size_t> missing_at;
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    if (!cache.get(ids[i].key(ver), out[i])) {
+    if (!cache.get({serial, ids[i].key(ver)}, out[i])) {
       missing.push_back(ids[i]);
       missing_at.push_back(i);
     }
@@ -41,7 +56,7 @@ std::vector<Bytes> SessionSource::read_many(std::span<const SegmentId> ids) {
     // like every other source.
     std::vector<Bytes> fetched = handle_->pooled().read_many(missing);
     for (std::size_t j = 0; j < missing.size(); ++j) {
-      cache.put(missing[j].key(ver), fetched[j]);
+      cache.put({serial, missing[j].key(ver)}, fetched[j]);
       out[missing_at[j]] = std::move(fetched[j]);
     }
     count_read_call();
@@ -61,8 +76,14 @@ std::shared_ptr<ArchiveHandle> ArchiveSet::open_file(const std::string& path) {
   if (it != handles_.end()) return it->second;
   // Built under the lock: a racing open of the same path must not construct
   // (and pay the index parse + header read for) a second handle.
-  auto handle = std::make_shared<ArchiveHandle>(
-      std::make_unique<FileSource>(path), opts_);
+  std::unique_ptr<SegmentSource> base;
+  if (opts_.use_mmap) {
+    base = std::make_unique<MmapSource>(path);
+  } else {
+    base = std::make_unique<FileSource>(path);
+  }
+  auto handle = std::make_shared<ArchiveHandle>(std::move(base), cache_,
+                                                opts_.io_threads);
   handles_.emplace(path, handle);
   return handle;
 }
@@ -73,7 +94,8 @@ std::shared_ptr<ArchiveHandle> ArchiveSet::open_memory(const std::string& name,
   auto it = handles_.find(name);
   if (it != handles_.end()) return it->second;
   auto handle = std::make_shared<ArchiveHandle>(
-      std::make_unique<MemorySource>(std::move(blob)), opts_);
+      std::make_unique<MemorySource>(std::move(blob)), cache_,
+      opts_.io_threads);
   handles_.emplace(name, handle);
   return handle;
 }

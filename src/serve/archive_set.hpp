@@ -25,13 +25,19 @@
 
 namespace ipcomp {
 
-/// Sizing knobs for the shared tier of one archive.
+/// Sizing knobs for the shared serving tier.
 struct ServeOptions {
-  /// Segment cache capacity; hot base/aux/coarse planes of the working set
-  /// should fit (see README "Serving" for sizing guidance).
+  /// Segment cache budget shared across *all* archives of an ArchiveSet —
+  /// one LRU, one byte cap, hot archives evict cold ones (see README
+  /// "Serving" for sizing guidance).  A handle constructed directly (not
+  /// through a set) gets a private cache of this capacity.
   std::size_t cache_capacity_bytes = std::size_t{64} << 20;
-  /// I/O pool workers behind read_many.
+  /// I/O pool workers behind read_many, per archive.
   unsigned io_threads = 2;
+  /// Open file archives through MmapSource instead of FileSource (the
+  /// daemon's default; MmapSource falls back to FileSource on empty or
+  /// over-cap files).  In-memory archives are unaffected.
+  bool use_mmap = false;
 };
 
 /// The shared, internally-synchronized tier of one opened archive: physical
@@ -45,10 +51,17 @@ struct ServeOptions {
 class ArchiveHandle {
  public:
   /// Takes ownership of `base`, fetches its header (the only point where
-  /// the base's externally-synchronized header() runs), and builds the
-  /// shared cache + I/O pool.  The base must allow concurrent read_many
-  /// calls (MemorySource / FileSource do) when opts.io_threads > 1.
-  ArchiveHandle(std::unique_ptr<SegmentSource> base, const ServeOptions& opts);
+  /// the base's externally-synchronized header() runs), and builds the I/O
+  /// pool over `cache` — usually an ArchiveSet's shared cross-archive cache.
+  /// The base must allow concurrent read_many calls (MemorySource /
+  /// FileSource / MmapSource do) when io_threads > 1.
+  ArchiveHandle(std::unique_ptr<SegmentSource> base,
+                std::shared_ptr<SegmentCache> cache, unsigned io_threads);
+  /// Standalone construction: a private cache of opts.cache_capacity_bytes.
+  ArchiveHandle(std::unique_ptr<SegmentSource> base, const ServeOptions& opts)
+      : ArchiveHandle(std::move(base),
+                      std::make_shared<SegmentCache>(opts.cache_capacity_bytes),
+                      opts.io_threads) {}
   ArchiveHandle(const ArchiveHandle&) = delete;
   ArchiveHandle& operator=(const ArchiveHandle&) = delete;
 
@@ -57,15 +70,20 @@ class ArchiveHandle {
   /// Open cost (header + segment table bytes) every session charges on its
   /// first header fetch, mirroring what a private source would charge.
   std::size_t open_cost() const { return open_cost_; }
+  /// Process-unique serial namespacing this handle's entries in the shared
+  /// cache (CacheKey::archive).
+  std::uint64_t serial() const { return serial_; }
 
-  SegmentCache& cache() { return cache_; }
+  SegmentCache& cache() { return *cache_; }
   PooledSource& pooled() { return pooled_; }
 
   /// Physical-I/O counters of the underlying source: what actually hit
   /// storage, across all sessions.  Compare with the sum of session-level
   /// stats to see the shared-cache savings.
   SourceStats source_stats() const { return base_->stats(); }
-  CacheStats cache_stats() const { return cache_.stats(); }
+  /// Stats of the (possibly shared) cache this handle reads through — with a
+  /// set-wide cache these counters cover every archive in the set.
+  CacheStats cache_stats() const { return cache_->stats(); }
 
   // Index queries forwarded to the base (const-safe there).
   bool has_segment(SegmentId id) const { return base_->has_segment(id); }
@@ -77,9 +95,10 @@ class ArchiveHandle {
  private:
   std::unique_ptr<SegmentSource> base_;
   PooledSource pooled_;  // decorates *base_
-  SegmentCache cache_;
+  std::shared_ptr<SegmentCache> cache_;
   Bytes header_;
   std::size_t open_cost_ = 0;
+  std::uint64_t serial_ = 0;
 };
 
 /// Per-session SegmentSource over a shared ArchiveHandle: cache-first reads,
@@ -127,7 +146,9 @@ class SessionSource final : public SegmentSource {
 /// reference, so sessions still running on the archive keep it alive.
 class ArchiveSet {
  public:
-  explicit ArchiveSet(ServeOptions opts = {}) : opts_(opts) {}
+  explicit ArchiveSet(ServeOptions opts = {})
+      : opts_(opts),
+        cache_(std::make_shared<SegmentCache>(opts.cache_capacity_bytes)) {}
   ArchiveSet(const ArchiveSet&) = delete;
   ArchiveSet& operator=(const ArchiveSet&) = delete;
 
@@ -150,8 +171,14 @@ class ArchiveSet {
 
   std::size_t size() const IPCOMP_EXCLUDES(mu_);
 
+  /// Counters of the set-wide shared cache (all archives together).
+  CacheStats cache_stats() const { return cache_->stats(); }
+
  private:
   ServeOptions opts_;
+  /// One LRU + one byte budget shared by every handle this set opens.
+  /// shared_ptr because handles outlive a close()d set entry.
+  std::shared_ptr<SegmentCache> cache_;
   mutable Mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<ArchiveHandle>> handles_
       IPCOMP_GUARDED_BY(mu_);

@@ -2,7 +2,7 @@
 
 namespace ipcomp {
 
-bool SegmentCache::get(std::uint64_t key, Bytes& out) {
+bool SegmentCache::get(const CacheKey& key, Bytes& out) {
   LockGuard lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
@@ -15,7 +15,7 @@ bool SegmentCache::get(std::uint64_t key, Bytes& out) {
   return true;
 }
 
-void SegmentCache::put(std::uint64_t key, const Bytes& payload) {
+void SegmentCache::put(const CacheKey& key, const Bytes& payload) {
   if (payload.size() > capacity_) return;
   LockGuard lock(mu_);
   auto it = map_.find(key);
@@ -45,7 +45,7 @@ CacheStats SegmentCache::stats() const {
 
 void SegmentCache::evict_until_fits(std::size_t incoming) {
   while (!lru_.empty() && resident_bytes_ + incoming > capacity_) {
-    const std::uint64_t victim = lru_.back();
+    const CacheKey victim = lru_.back();
     auto it = map_.find(victim);
     resident_bytes_ -= it->second.payload.size();
     map_.erase(it);

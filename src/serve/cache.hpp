@@ -1,12 +1,16 @@
 // Segment-level LRU byte cache for the multi-tenant serve layer.
 //
-// One SegmentCache sits between all of an archive's Sessions and its
-// physical SegmentSource: the first client to need a hot base/aux/coarse
-// plane pays the fetch, every later client is served the cached payload.
-// Capacity is in bytes (segment payloads vary from a few hundred bytes for
-// deep planes to megabytes for base data), eviction is strict LRU, and an
-// entry larger than the whole capacity is simply not cached — the fetch
-// still succeeds, it just isn't retained.
+// One SegmentCache sits between Sessions and physical SegmentSources: the
+// first client to need a hot base/aux/coarse plane pays the fetch, every
+// later client is served the cached payload.  Entries are keyed by
+// (archive serial, segment key), so a single cache — and a single byte
+// budget — is shared across every archive of an ArchiveSet: a hot archive
+// naturally evicts a cold one's tail instead of each archive hoarding a
+// private cap.  Capacity is in bytes (segment payloads vary from a few
+// hundred bytes for deep planes to megabytes for base data), eviction is
+// strict LRU across all archives, and an entry larger than the whole
+// capacity is simply not cached — the fetch still succeeds, it just isn't
+// retained.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +22,28 @@
 #include "util/sync.hpp"
 
 namespace ipcomp {
+
+/// Cache entry identity: which archive (a process-unique serial assigned at
+/// ArchiveHandle construction) and which segment (the archive-format table
+/// key).  Exact — two archives with identical segment keys never collide.
+struct CacheKey {
+  std::uint64_t archive = 0;
+  std::uint64_t segment = 0;
+
+  bool operator==(const CacheKey&) const = default;
+
+  struct Hash {
+    std::size_t operator()(const CacheKey& k) const {
+      // Splitmix-style mix of the two words; either alone is low-entropy
+      // (serials are tiny, table keys cluster in the low bits).
+      std::uint64_t h = k.archive * 0x9E3779B97F4A7C15ull ^ k.segment;
+      h ^= h >> 30;
+      h *= 0xBF58476D1CE4E5B9ull;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h);
+    }
+  };
+};
 
 /// One snapshot of a cache's counters, taken by a single stats() call under
 /// the cache lock — all fields are mutually consistent (the companion of
@@ -50,12 +76,12 @@ class SegmentCache {
   /// On hit, copies the payload into `out`, promotes the entry to
   /// most-recently-used, and returns true; on miss returns false with `out`
   /// untouched.  Either way the lookup is counted.
-  bool get(std::uint64_t key, Bytes& out) IPCOMP_EXCLUDES(mu_);
+  bool get(const CacheKey& key, Bytes& out) IPCOMP_EXCLUDES(mu_);
 
   /// Inserts (or refreshes) `key`, evicting least-recently-used entries
   /// until the payload fits.  Payloads larger than the capacity are not
   /// cached at all.
-  void put(std::uint64_t key, const Bytes& payload) IPCOMP_EXCLUDES(mu_);
+  void put(const CacheKey& key, const Bytes& payload) IPCOMP_EXCLUDES(mu_);
 
   CacheStats stats() const IPCOMP_EXCLUDES(mu_);
 
@@ -66,14 +92,14 @@ class SegmentCache {
 
   struct Entry {
     Bytes payload;
-    std::list<std::uint64_t>::iterator lru_it;
+    std::list<CacheKey>::iterator lru_it;
   };
 
   const std::size_t capacity_;
   mutable Mutex mu_;
   /// Front = most recently used; back is the eviction candidate.
-  std::list<std::uint64_t> lru_ IPCOMP_GUARDED_BY(mu_);
-  std::unordered_map<std::uint64_t, Entry> map_ IPCOMP_GUARDED_BY(mu_);
+  std::list<CacheKey> lru_ IPCOMP_GUARDED_BY(mu_);
+  std::unordered_map<CacheKey, Entry, CacheKey::Hash> map_ IPCOMP_GUARDED_BY(mu_);
   std::size_t resident_bytes_ IPCOMP_GUARDED_BY(mu_) = 0;
   std::size_t hits_ IPCOMP_GUARDED_BY(mu_) = 0;
   std::size_t misses_ IPCOMP_GUARDED_BY(mu_) = 0;

@@ -2,11 +2,16 @@
 // These sweeps are the "did we miss a geometry / content interaction"
 // backstop for the whole stack.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <algorithm>
 
 #include "coding/bitpack.hpp"
 #include "coding/codec.hpp"
 #include "coding/lzh.hpp"
 #include "ipcomp.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
 
@@ -236,6 +241,140 @@ TEST_P(ForgedArchive, BitpackForgedPayloadsNeverCrash) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ForgedArchive, ::testing::Range(0, 4));
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 6));
+
+// ---- forged wire frames ---------------------------------------------------
+
+// The daemon side of the forged-archive discipline: truncated, oversized and
+// garbage frames against a live loopback server must yield ERROR frames or
+// clean disconnects — never a crash, and never a wedged server.  The real
+// assertion is liveness: after the whole corpus, a well-formed client still
+// retrieves byte-exactly.
+class ForgedFrames : public ::testing::TestWithParam<int> {};
+
+Bytes wire_frame(std::uint8_t op, const Bytes& body) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(body.size() + 1));
+  w.u8(op);
+  w.bytes({body.data(), body.size()});
+  return w.take();
+}
+
+void send_raw(const net::Socket& sock, const Bytes& bytes) {
+  // Best-effort: the server may legitimately have closed on us already.
+  (void)::send(sock.fd(), bytes.data(), bytes.size(), MSG_NOSIGNAL);
+}
+
+void drain_replies(const net::Socket& sock) {
+  std::uint8_t buf[4096];
+  while (::recv(sock.fd(), buf, sizeof buf, 0) > 0) {
+  }
+}
+
+TEST_P(ForgedFrames, GarbageTruncatedOversizedFramesNeverCrashTheServer) {
+  Rng rng(6000 + GetParam());
+
+  Dims dims{12, 10, 8};
+  NdArray<double> field(dims);
+  for (std::size_t i = 0; i < field.count(); ++i) {
+    field[i] = std::sin(0.2 * static_cast<double>(i));
+  }
+  Options opt;
+  opt.error_bound = 1e-5;
+  opt.block_side = 4;
+  opt.progressive_threshold = 256;
+  const Bytes archive = compress(field.const_view(), opt);
+
+  net::Server server;
+  server.export_memory("a", Bytes(archive));
+  server.start();
+  const std::string addr = server.address();
+
+  Bytes hello_body;
+  {
+    ByteWriter w;
+    w.u32(net::kWireVersion);
+    hello_body = w.take();
+  }
+
+  for (int trial = 0; trial < 16; ++trial) {
+    net::Socket sock = net::dial(addr);
+    sock.set_timeouts(/*recv_ms=*/300, /*send_ms=*/300);
+    switch (trial % 8) {
+      case 0: {  // pure garbage, never a valid length prefix in sight
+        Bytes garbage(1 + rng.uniform_u64(512));
+        for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
+        send_raw(sock, garbage);
+        break;
+      }
+      case 1: {  // zero-length frame: illegal framing
+        ByteWriter w;
+        w.u32(0);
+        send_raw(sock, w.take());
+        break;
+      }
+      case 2: {  // length far past the server's inbound cap
+        ByteWriter w;
+        w.u32(0x7FFFFFFF);
+        w.u8(0x01);
+        send_raw(sock, w.take());
+        break;
+      }
+      case 3: {  // truncated frame: promise 100 bytes, deliver 5, hang up
+        ByteWriter w;
+        w.u32(100);
+        w.u8(0x01);
+        w.u32(net::kWireVersion);
+        send_raw(sock, w.take());
+        break;
+      }
+      case 4: {  // HELLO with a version the server does not speak
+        ByteWriter w;
+        w.u32(rng.uniform_u64(2) != 0 ? 0u : 0xDEADu);
+        send_raw(sock, wire_frame(0x01, w.take()));
+        break;
+      }
+      case 5: {  // op the protocol never defined, before HELLO
+        Bytes body(rng.uniform_u64(32));
+        for (auto& b : body) b = static_cast<std::uint8_t>(rng.next_u64());
+        send_raw(sock, wire_frame(0x7E, body));
+        break;
+      }
+      case 6: {  // valid HELLO, then a PLAN whose body is random garbage
+        send_raw(sock, wire_frame(0x01, hello_body));
+        Bytes body(1 + rng.uniform_u64(64));
+        for (auto& b : body) b = static_cast<std::uint8_t>(rng.next_u64());
+        send_raw(sock, wire_frame(0x03, body));
+        break;
+      }
+      default: {  // valid HELLO, then a frame-sized bite of a real archive
+        send_raw(sock, wire_frame(0x01, hello_body));
+        const std::size_t n = std::min<std::size_t>(
+            archive.size(), 1 + rng.uniform_u64(256));
+        send_raw(sock, wire_frame(0x02, Bytes(archive.begin(),
+                                              archive.begin() +
+                                                  static_cast<std::ptrdiff_t>(n))));
+        break;
+      }
+    }
+    sock.shutdown_both();
+    drain_replies(sock);
+  }
+
+  // Liveness + correctness after the storm: the server still serves a real
+  // client, byte-identical to a local reader.
+  MemorySource src{Bytes(archive)};
+  ProgressiveReader<double> local(src);
+  local.retrieve(Request::full());
+  net::RemoteReader<double> remote(addr, "a");
+  remote.retrieve(Request::full());
+  EXPECT_EQ(remote.data(), local.data());
+
+  const net::ServeStats st = server.stats();
+  EXPECT_GT(st.errors_sent, 0u);  // at least some forgeries drew an ERROR
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForgedFrames, ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace ipcomp

@@ -1,0 +1,428 @@
+// Network serving tier: MmapSource/FileSource parity, loopback client/server
+// integration — remote reconstruction byte-identical to a local reader over
+// the same request sequence on both storage backends, refinement wire bytes
+// equal to the plan's predicted bytes_new, mixed region/eb/bytes traffic,
+// quota rejection over the wire, typed error mapping — and the multi-client
+// stress the tsan preset runs against one live daemon.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/mmap_source.hpp"
+#include "ipcomp.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ipcomp {
+namespace {
+
+using testutil::smooth_field;
+
+Bytes make_archive(const NdArray<double>& field, double eb,
+                   unsigned block_side) {
+  Options opt;
+  opt.error_bound = eb;
+  opt.relative = false;
+  opt.block_side = block_side;
+  // Real bitplane segments even at this block size (test_serve.cpp idiom).
+  opt.progressive_threshold = 256;
+  return compress(field.const_view(), opt);
+}
+
+std::string write_temp_archive(const Bytes& archive, const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  write_file(path, archive);
+  return path;
+}
+
+// ---- MmapSource -----------------------------------------------------------
+
+TEST(MmapSource, PayloadsAndStatsMatchFileSource) {
+  auto field = smooth_field(Dims{24, 20, 16}, 71, 0.05);
+  const std::string path =
+      write_temp_archive(make_archive(field, 1e-6, 8), "ipc_mmap_parity.ipc");
+
+  FileSource fs(path);
+  MmapSource ms(path);
+  ASSERT_TRUE(ms.mapped());
+
+  EXPECT_EQ(ms.header(), fs.header());
+  EXPECT_EQ(ms.version(), fs.version());
+  EXPECT_EQ(ms.total_size(), fs.total_size());
+  EXPECT_EQ(ms.segment_ids(), fs.segment_ids());
+  // Open cost parity: header + table charged identically.
+  EXPECT_EQ(ms.stats().bytes_read, fs.stats().bytes_read);
+  EXPECT_EQ(ms.stats().read_calls, fs.stats().read_calls);
+
+  const std::vector<SegmentId> ids = fs.segment_ids();
+  ASSERT_FALSE(ids.empty());
+  for (const SegmentId& id : ids) {
+    EXPECT_EQ(ms.segment_size(id), fs.segment_size(id));
+  }
+  EXPECT_EQ(ms.read_many(ids), fs.read_many(ids));
+  // Full accounting parity: payload bytes, dispatches, coalesced ranges.
+  EXPECT_EQ(ms.stats().bytes_read, fs.stats().bytes_read);
+  EXPECT_EQ(ms.stats().read_calls, fs.stats().read_calls);
+  EXPECT_EQ(ms.stats().coalesced_ranges, fs.stats().coalesced_ranges);
+
+  // Missing segments are rejected all-or-nothing without charging.
+  SegmentId bogus;
+  bogus.kind = 0xAB;
+  const std::size_t before = ms.stats().bytes_read;
+  EXPECT_THROW(ms.read_segment(bogus), std::runtime_error);
+  EXPECT_EQ(ms.stats().bytes_read, before);
+}
+
+TEST(MmapSource, RandomSubsetPropertyAgainstFileSource) {
+  auto field = smooth_field(Dims{20, 18, 14}, 72, 0.07);
+  const std::string path =
+      write_temp_archive(make_archive(field, 1e-6, 8), "ipc_mmap_prop.ipc");
+
+  FileSource fs(path);
+  MmapSource ms(path);
+  ASSERT_TRUE(ms.mapped());
+  const std::vector<SegmentId> ids = fs.segment_ids();
+  ASSERT_GT(ids.size(), 4u);
+
+  Rng rng(72);
+  for (int trial = 0; trial < 24; ++trial) {
+    // Random subset in random order (read_many must preserve request order).
+    std::vector<SegmentId> subset;
+    for (const SegmentId& id : ids) {
+      if (rng.uniform() < 0.4) subset.push_back(id);
+    }
+    for (std::size_t i = subset.size(); i > 1; --i) {
+      std::swap(subset[i - 1], subset[rng.uniform_u64(i)]);
+    }
+    if (subset.empty()) continue;
+    EXPECT_EQ(ms.read_many(subset), fs.read_many(subset)) << "trial " << trial;
+    EXPECT_EQ(ms.stats().bytes_read, fs.stats().bytes_read);
+  }
+}
+
+TEST(MmapSource, OverCapFileFallsBackToFileSource) {
+  auto field = smooth_field(Dims{16, 12, 8}, 73, 0.05);
+  const std::string path =
+      write_temp_archive(make_archive(field, 1e-6, 8), "ipc_mmap_cap.ipc");
+
+  FileSource fs(path);
+  MmapSource ms(path, /*map_cap_bytes=*/16);  // archive is far larger
+  EXPECT_FALSE(ms.mapped());
+  EXPECT_EQ(ms.header(), fs.header());
+  const std::vector<SegmentId> ids = fs.segment_ids();
+  EXPECT_EQ(ms.read_many(ids), fs.read_many(ids));
+  EXPECT_EQ(ms.stats().bytes_read, fs.stats().bytes_read);
+}
+
+TEST(MmapSource, EmptyAndTruncatedFilesRejectLikeFileSource) {
+  const std::string empty = ::testing::TempDir() + "/ipc_mmap_empty.ipc";
+  write_file(empty, Bytes{});
+  EXPECT_THROW(FileSource{empty}, std::exception);
+  EXPECT_THROW(MmapSource{empty}, std::exception);  // empty -> fallback path
+
+  auto field = smooth_field(Dims{12, 10, 8}, 74, 0.05);
+  Bytes archive = make_archive(field, 1e-5, 4);
+  Bytes truncated(archive.begin(),
+                  archive.begin() + static_cast<std::ptrdiff_t>(archive.size() / 3));
+  const std::string path = write_temp_archive(truncated, "ipc_mmap_trunc.ipc");
+  EXPECT_THROW(FileSource{path}, std::exception);
+  EXPECT_THROW(MmapSource{path}, std::exception);
+}
+
+TEST(MmapSource, ReaderOverMmapMatchesFileReader) {
+  auto field = smooth_field(Dims{24, 20, 16}, 75, 0.05);
+  const std::string path =
+      write_temp_archive(make_archive(field, 1e-6, 8), "ipc_mmap_reader.ipc");
+
+  FileSource fs(path);
+  MmapSource ms(path);
+  ProgressiveReader<double> a(fs), b(ms);
+  for (const Request& req :
+       {Request::error_bound(1e-2), Request::bytes(3000), Request::full()}) {
+    RetrievalPlan pa = a.plan(req), pb = b.plan(req);
+    EXPECT_EQ(pa.segments, pb.segments);
+    EXPECT_EQ(pa.bytes_new, pb.bytes_new);
+    RetrievalStats sa = a.execute(pa), sb = b.execute(pb);
+    EXPECT_EQ(sa.bytes_total, sb.bytes_total);
+    EXPECT_EQ(a.data(), b.data());
+  }
+}
+
+// ---- loopback client/server -----------------------------------------------
+
+/// The mixed request sequence every identity test replays on both sides
+/// (byte-identity holds per-sequence: float accumulation differs across
+/// different refinement paths, local or remote alike).
+std::vector<Request> mixed_traffic() {
+  return {
+      Request::error_bound(1e-2),
+      Request::error_bound(1e-4).within({0, 0, 0}, {12, 12, 12}),
+      Request::bytes(3000),
+      Request::full(),
+  };
+}
+
+/// Replays `traffic` on a remote reader and an isolated local reader,
+/// asserting plan equality, stats equality, reconstruction equality, and
+/// that every refinement's wire payload equals the plan's predicted
+/// bytes_new (the first request additionally carries the open cost in its
+/// price but not on the wire — the OPEN reply already delivered it).
+void assert_remote_matches_local(net::RemoteReader<double>& remote,
+                                 ProgressiveReader<double>& local,
+                                 const std::vector<Request>& traffic) {
+  bool first = true;
+  for (const Request& req : traffic) {
+    RetrievalPlan lp = local.plan(req);
+    RetrievalPlan rp = remote.plan(req);
+    ASSERT_EQ(lp.segments, rp.segments);
+    ASSERT_EQ(lp.bytes_new, rp.bytes_new);
+    ASSERT_EQ(lp.guaranteed_error, rp.guaranteed_error);
+
+    RetrievalStats ls = local.execute(lp);
+    RetrievalStats rs = remote.execute(rp);
+    EXPECT_EQ(ls.bytes_new, rs.bytes_new);
+    EXPECT_EQ(ls.bytes_total, rs.bytes_total);
+    EXPECT_EQ(ls.guaranteed_error, rs.guaranteed_error);
+    EXPECT_EQ(ls.bitrate, rs.bitrate);
+    ASSERT_EQ(local.data(), remote.data());
+
+    const std::uint64_t wire = remote.archive().last_payload_bytes();
+    const std::size_t open_cost = remote.archive().source().open_cost();
+    EXPECT_EQ(wire, first ? rs.bytes_new - open_cost : rs.bytes_new);
+    first = false;
+  }
+}
+
+TEST(Net, RemoteMatchesLocalReaderMemoryBacked) {
+  auto field = smooth_field(Dims{24, 20, 16}, 81, 0.05);
+  Bytes archive = make_archive(field, 1e-6, 8);
+
+  net::Server server;
+  server.export_memory("density", Bytes(archive));
+  server.start();
+
+  MemorySource src{Bytes(archive)};
+  ProgressiveReader<double> local(src);
+  net::RemoteReader<double> remote(server.address(), "density");
+  assert_remote_matches_local(remote, local, mixed_traffic());
+
+  // The remote client priced exactly what a local reader would have.
+  EXPECT_EQ(remote.archive().source().stats().bytes_read,
+            src.stats().bytes_read);
+  server.stop();
+}
+
+TEST(Net, RemoteMatchesLocalReaderFileMmapBacked) {
+  auto field = smooth_field(Dims{24, 20, 16}, 82, 0.06);
+  Bytes archive = make_archive(field, 1e-6, 8);
+  const std::string path = write_temp_archive(archive, "ipc_net_mmap.ipc");
+
+  net::ServerConfig cfg;
+  cfg.serve.use_mmap = true;
+  net::Server server(cfg);
+  server.export_file("density", path);
+  server.start();
+
+  MemorySource src{Bytes(archive)};
+  ProgressiveReader<double> local(src);
+  net::RemoteReader<double> remote(server.address(), "density");
+  assert_remote_matches_local(remote, local, mixed_traffic());
+
+  const net::ServeStats st = server.stats();
+  EXPECT_GT(st.payload_bytes_sent, 0u);
+  EXPECT_GT(st.physical_bytes_read, 0u);
+  EXPECT_GT(st.frames_in, 0u);
+  server.stop();
+}
+
+TEST(Net, RemoteMatchesLocalReaderFileFreadBacked) {
+  auto field = smooth_field(Dims{20, 16, 12}, 83, 0.05);
+  Bytes archive = make_archive(field, 1e-6, 8);
+  const std::string path = write_temp_archive(archive, "ipc_net_fread.ipc");
+
+  net::ServerConfig cfg;
+  cfg.serve.use_mmap = false;
+  net::Server server(cfg);
+  server.export_file("density", path);
+  server.start();
+
+  MemorySource src{Bytes(archive)};
+  ProgressiveReader<double> local(src);
+  net::RemoteReader<double> remote(server.address(), "density");
+  assert_remote_matches_local(remote, local, mixed_traffic());
+  server.stop();
+}
+
+TEST(Net, UnixDomainSocketLoopback) {
+  auto field = smooth_field(Dims{16, 12, 8}, 84, 0.05);
+  Bytes archive = make_archive(field, 1e-6, 8);
+
+  net::ServerConfig cfg;
+  cfg.listen = "unix:" + ::testing::TempDir() + "/ipc_net_test.sock";
+  net::Server server(cfg);
+  server.export_memory("a", Bytes(archive));
+  server.start();
+  EXPECT_EQ(server.address(), cfg.listen);
+
+  MemorySource src{Bytes(archive)};
+  ProgressiveReader<double> local(src);
+  net::RemoteReader<double> remote(cfg.listen, "a");
+  local.retrieve(Request::full());
+  remote.retrieve(Request::full());
+  EXPECT_EQ(local.data(), remote.data());
+  server.stop();
+}
+
+TEST(Net, QuotaRejectedOverTheWire) {
+  auto field = smooth_field(Dims{24, 20, 16}, 85, 0.05);
+  Bytes archive = make_archive(field, 1e-6, 8);
+
+  // Price full fidelity with a local probe to pick a quota just below it.
+  ArchiveSet probe_set;
+  Session<double> probe(probe_set.open_memory("p", Bytes(archive)));
+  const std::uint64_t full_cost = probe.plan(Request::full()).bytes_new;
+  const std::uint64_t coarse_cost =
+      probe.plan(Request::error_bound(1e-2)).bytes_new;
+  ASSERT_LT(coarse_cost, full_cost - 1);
+
+  net::ServerConfig cfg;
+  cfg.session_quota = full_cost - 1;
+  net::Server server(cfg);
+  server.export_memory("a", Bytes(archive));
+  server.start();
+
+  net::RemoteReader<double> remote(server.address(), "a");
+  // Admission happens server-side at EXECUTE; the rejection surfaces as the
+  // same typed exception the local Session throws, with the exact shortfall.
+  try {
+    remote.retrieve(Request::full());
+    FAIL() << "expected QuotaExceeded";
+  } catch (const QuotaExceeded& e) {
+    EXPECT_EQ(e.needed(), full_cost);
+    EXPECT_EQ(e.remaining(), full_cost - 1);
+  }
+  // The session is untouched: a cheaper request is admitted afterwards.
+  RetrievalStats st = remote.retrieve(Request::error_bound(1e-2));
+  EXPECT_EQ(st.bytes_new, coarse_cost);
+
+  const net::ServeStats ss = remote.archive().stat();
+  EXPECT_EQ(ss.quota_rejections, 1u);
+  EXPECT_GE(ss.errors_sent, 1u);
+  server.stop();
+}
+
+TEST(Net, TypedErrorsForUnknownArchiveStalePlanUnknownToken) {
+  auto field = smooth_field(Dims{12, 10, 8}, 86, 0.05);
+  net::Server server;
+  server.export_memory("a", make_archive(field, 1e-5, 4));
+  server.start();
+
+  // OPEN of a name the server does not export.
+  try {
+    net::RemoteArchive bad(server.address(), "nope");
+    FAIL() << "expected RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.code(), net::ErrCode::kUnknownArchive);
+  }
+
+  net::RemoteArchive ra(server.address(), "a");
+  // PLAN against an epoch the session never had.
+  EXPECT_THROW(ra.plan_remote(/*epoch=*/999, Request::full()),
+               std::logic_error);
+  // EXECUTE of a token the server never issued.
+  EXPECT_THROW(ra.execute_remote(/*token=*/12345), std::logic_error);
+  // The connection survives typed rejections: a real lifecycle still works.
+  const net::PlanReply rep = ra.plan_remote(0, Request::full());
+  EXPECT_GT(rep.bytes_new, 0u);
+  server.stop();
+}
+
+TEST(Net, StalePlanTokensDieWithTheEpoch) {
+  auto field = smooth_field(Dims{16, 12, 8}, 87, 0.05);
+  net::Server server;
+  server.export_memory("a", make_archive(field, 1e-6, 8));
+  server.start();
+
+  net::RemoteReader<double> remote(server.address(), "a");
+  RetrievalPlan p1 = remote.plan(Request::error_bound(1e-2));
+  remote.retrieve(Request::bytes(2000));  // advances the epoch
+  EXPECT_THROW(remote.execute(p1), std::logic_error);
+  server.stop();
+}
+
+// ---- the tsan-preset stress test ------------------------------------------
+
+// N client threads, each its own connection, mixed traffic shapes against
+// one live daemon; every final reconstruction byte-identical to a serial
+// reader replaying the same shape.
+TEST(Net, MultiClientStress) {
+  constexpr int kClients = 8;
+  constexpr int kRounds = 2;
+
+  auto field = smooth_field(Dims{24, 20, 16}, 88, 0.05);
+  const Bytes archive = make_archive(field, 1e-6, 8);
+
+  auto run_shape = [](auto& r, int shape) {
+    if (shape == 0) r.retrieve(Request::error_bound(1e-2));
+    if (shape == 1) {
+      r.execute(
+          r.plan(Request::error_bound(1e-4).within({0, 0, 0}, {12, 12, 12})));
+    }
+    if (shape == 2) r.retrieve(Request::bytes(2000));
+    if (shape == 3) r.retrieve(Request::error_bound(1e-3));
+    r.retrieve(Request::full());
+  };
+  std::vector<std::vector<double>> want(4);
+  for (int shape = 0; shape < 4; ++shape) {
+    MemorySource ref_src{Bytes(archive)};
+    ProgressiveReader<double> ref(ref_src);
+    run_shape(ref, shape);
+    want[static_cast<std::size_t>(shape)] = ref.data();
+  }
+
+  net::ServerConfig cfg;
+  cfg.workers = kClients;
+  net::Server server(cfg);
+  server.export_memory("stress", Bytes(archive));
+  server.start();
+  const std::string addr = server.address();
+
+  std::vector<std::vector<double>> result(kClients * kRounds);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < kRounds; ++r) {
+        net::RemoteReader<double> reader(addr, "stress");
+        run_shape(reader, (c + r) % 4);
+        result[static_cast<std::size_t>(c) * kRounds +
+               static_cast<std::size_t>(r)] = reader.data();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kRounds; ++r) {
+      const std::size_t i = static_cast<std::size_t>(c) * kRounds +
+                            static_cast<std::size_t>(r);
+      ASSERT_EQ(result[i], want[static_cast<std::size_t>((c + r) % 4)])
+          << "client " << c << " round " << r;
+    }
+  }
+
+  const net::ServeStats st = server.stats();
+  EXPECT_EQ(st.connections_accepted,
+            static_cast<std::uint64_t>(kClients * kRounds));
+  EXPECT_GT(st.cache.hits, 0u);  // shared tier served repeat traffic
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace ipcomp

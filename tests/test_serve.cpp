@@ -39,20 +39,23 @@ Bytes make_archive(const NdArray<double>& field, double eb, unsigned block_side)
 
 Bytes payload_of(std::size_t n, std::uint8_t fill) { return Bytes(n, fill); }
 
+/// Cache key in archive 0 (keys are namespaced per archive serial).
+CacheKey seg(std::uint64_t k) { return {0, k}; }
+
 TEST(SegmentCache, LruEvictionOrderAndCounters) {
   SegmentCache cache(/*capacity_bytes=*/100);
   Bytes out;
 
-  EXPECT_FALSE(cache.get(1, out));  // miss counted
-  cache.put(1, payload_of(40, 0xA1));
-  cache.put(2, payload_of(40, 0xA2));
-  EXPECT_TRUE(cache.get(1, out));  // 1 is now most-recent
+  EXPECT_FALSE(cache.get(seg(1), out));  // miss counted
+  cache.put(seg(1), payload_of(40, 0xA1));
+  cache.put(seg(2), payload_of(40, 0xA2));
+  EXPECT_TRUE(cache.get(seg(1), out));  // 1 is now most-recent
   EXPECT_EQ(out, payload_of(40, 0xA1));
 
-  cache.put(3, payload_of(40, 0xA3));  // evicts 2 (LRU), not 1
-  EXPECT_TRUE(cache.get(1, out));
-  EXPECT_TRUE(cache.get(3, out));
-  EXPECT_FALSE(cache.get(2, out));
+  cache.put(seg(3), payload_of(40, 0xA3));  // evicts 2 (LRU), not 1
+  EXPECT_TRUE(cache.get(seg(1), out));
+  EXPECT_TRUE(cache.get(seg(3), out));
+  EXPECT_FALSE(cache.get(seg(2), out));
 
   CacheStats s = cache.stats();
   EXPECT_EQ(s.capacity_bytes, 100u);
@@ -67,16 +70,28 @@ TEST(SegmentCache, LruEvictionOrderAndCounters) {
 
 TEST(SegmentCache, OversizedPayloadIsNotCachedAndCapacityHolds) {
   SegmentCache cache(64);
-  cache.put(7, payload_of(65, 0xFF));  // larger than the whole capacity
+  cache.put(seg(7), payload_of(65, 0xFF));  // larger than the whole capacity
   Bytes out;
-  EXPECT_FALSE(cache.get(7, out));
+  EXPECT_FALSE(cache.get(seg(7), out));
   EXPECT_EQ(cache.stats().resident_bytes, 0u);
 
   // Refreshing an existing key must not double-count resident bytes.
-  cache.put(8, payload_of(30, 0x08));
-  cache.put(8, payload_of(30, 0x08));
+  cache.put(seg(8), payload_of(30, 0x08));
+  cache.put(seg(8), payload_of(30, 0x08));
   EXPECT_EQ(cache.stats().resident_bytes, 30u);
   EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(SegmentCache, SameSegmentKeyInTwoArchivesIsTwoEntries) {
+  SegmentCache cache(128);
+  cache.put({1, 42}, payload_of(8, 0x11));
+  cache.put({2, 42}, payload_of(8, 0x22));
+  Bytes out;
+  ASSERT_TRUE(cache.get({1, 42}, out));
+  EXPECT_EQ(out, payload_of(8, 0x11));
+  ASSERT_TRUE(cache.get({2, 42}, out));
+  EXPECT_EQ(out, payload_of(8, 0x22));
+  EXPECT_EQ(cache.stats().entries, 2u);
 }
 
 // ---- PooledSource ---------------------------------------------------------
@@ -164,6 +179,44 @@ TEST(Serve, ArchiveSetOpensEachArchiveOnce) {
   EXPECT_EQ(set.get(path), nullptr);
   // The dropped handle stays alive for existing holders.
   EXPECT_GT(a->total_size(), 0u);
+}
+
+TEST(Serve, SharedCacheBudgetTwoArchivesCompete) {
+  // Two archives, one cache whose budget holds roughly ONE of them: traffic
+  // on the second must evict the first (cross-archive LRU, one byte cap),
+  // while every session still reconstructs exactly.
+  auto field_a = smooth_field(Dims{24, 20, 16}, 58, 0.05);
+  auto field_b = smooth_field(Dims{24, 20, 16}, 59, 0.08);
+  Bytes archive_a = make_archive(field_a, 1e-6, 8);
+  Bytes archive_b = make_archive(field_b, 1e-6, 8);
+
+  ServeOptions sopts;
+  sopts.cache_capacity_bytes = archive_a.size();  // ~one archive's worth
+  ArchiveSet set(sopts);
+  auto ha = set.open_memory("a", Bytes(archive_a));
+  auto hb = set.open_memory("b", Bytes(archive_b));
+
+  // Warm A, then prove a second A session is served from cache.
+  Session<double>(ha).retrieve(Request::full());
+  const std::size_t physical_a_warm = ha->source_stats().bytes_read;
+  Session<double>(ha).retrieve(Request::full());
+  EXPECT_EQ(ha->source_stats().bytes_read, physical_a_warm);
+
+  // Full traffic on B sweeps the shared LRU; A's residency is collateral.
+  Session<double> sb(hb);
+  sb.retrieve(Request::full());
+  EXPECT_GT(set.cache_stats().evictions, 0u);
+  EXPECT_LE(set.cache_stats().resident_bytes, set.cache_stats().capacity_bytes);
+
+  // A third A session now misses (its segments were evicted) and refetches
+  // from storage — the set-wide budget really is shared, not per-archive.
+  Session<double> sa(ha);
+  sa.retrieve(Request::full());
+  EXPECT_GT(ha->source_stats().bytes_read, physical_a_warm);
+
+  // Both reconstructions stay exact under the churn.
+  EXPECT_LE(linf(field_a.const_view(), sa.data()), 1e-6);
+  EXPECT_LE(linf(field_b.const_view(), sb.data()), 1e-6);
 }
 
 TEST(Serve, SessionMatchesIsolatedReaderExactly) {
