@@ -216,7 +216,18 @@ std::string RemoteReader<T>::plan_fingerprint(const RetrievalPlan& p) {
 }
 
 template <typename T>
+void RemoteReader<T>::check_poisoned() const {
+  if (poisoned_) {
+    throw std::logic_error(
+        "remote reader is poisoned: a previous execute() diverged from the "
+        "server after its session advanced; reconnect with a fresh "
+        "RemoteReader");
+  }
+}
+
+template <typename T>
 RetrievalPlan RemoteReader<T>::plan(const Request& req) {
+  check_poisoned();
   RetrievalPlan p = reader_.plan(req);
   const PlanReply rep = archive_.plan_remote(p.epoch, req);
   if (rep.bytes_new != p.bytes_new || rep.n_segments != p.segments.size() ||
@@ -231,6 +242,7 @@ RetrievalPlan RemoteReader<T>::plan(const Request& req) {
 
 template <typename T>
 RetrievalStats RemoteReader<T>::execute(const RetrievalPlan& p) {
+  check_poisoned();
   auto it = tokens_.find(plan_fingerprint(p));
   if (it == tokens_.end()) {
     throw std::logic_error(
@@ -238,14 +250,25 @@ RetrievalStats RemoteReader<T>::execute(const RetrievalPlan& p) {
         "stale)");
   }
   const ExecReply rep = archive_.execute_remote(it->second);
-  RetrievalStats st = reader_.execute(p);
-  if (st.bytes_new != rep.bytes_new) {
-    throw std::runtime_error(
-        "remote: execution accounting disagrees with the server");
+  // From here the server session has advanced and its staged payloads are
+  // consumed.  If the local mirror cannot follow — the decode throws, or the
+  // accounting cross-check fails — the two sides are permanently
+  // desynchronized with no recovery on this connection, so poison the reader
+  // and make every later plan/execute fail fast instead of shipping plans
+  // priced against a state the server no longer holds.
+  try {
+    RetrievalStats st = reader_.execute(p);
+    if (st.bytes_new != rep.bytes_new) {
+      throw std::runtime_error(
+          "remote: execution accounting disagrees with the server");
+    }
+    // The reader advanced; every outstanding token priced the old state.
+    tokens_.clear();
+    return st;
+  } catch (...) {
+    poisoned_ = true;
+    throw;
   }
-  // The reader advanced; every outstanding token priced the old state.
-  tokens_.clear();
-  return st;
 }
 
 template class RemoteReader<float>;

@@ -151,6 +151,12 @@ class RemoteReader {
   /// the server's price disagrees with the local mirror — protocol drift.
   RetrievalPlan plan(const Request& req);
   /// Pull the plan's segments over the wire and decode them locally.
+  ///
+  /// Failure after the server replied EXECUTE_OK (the local decode throws,
+  /// or the accounting cross-check fails) leaves the server session one
+  /// epoch ahead of the local mirror with no way to roll either side back;
+  /// the reader is then *poisoned* — every later plan/execute throws
+  /// std::logic_error immediately — and recovery is a fresh RemoteReader.
   RetrievalStats execute(const RetrievalPlan& p);
   RetrievalStats retrieve(const Request& req) { return execute(plan(req)); }
 
@@ -161,10 +167,14 @@ class RemoteReader {
  private:
   /// Identity of a plan at the current epoch, for token lookup at execute.
   static std::string plan_fingerprint(const RetrievalPlan& p);
+  /// Throws std::logic_error once a server/mirror divergence poisoned the
+  /// reader (see execute()).
+  void check_poisoned() const;
 
   RemoteArchive archive_;
   ProgressiveReader<T> reader_;
   std::unordered_map<std::string, std::uint64_t> tokens_;
+  bool poisoned_ = false;
 };
 
 extern template class RemoteReader<float>;

@@ -127,6 +127,7 @@ void Server::export_memory(const std::string& name, Bytes blob) {
 }
 
 void Server::start() {
+  LockGuard lifecycle(lifecycle_mu_);
   if (running()) throw std::logic_error("server already running");
   listener_ = std::make_unique<Listener>(cfg_.listen);
   stopping_.store(false, std::memory_order_release);
@@ -139,6 +140,7 @@ void Server::start() {
 }
 
 void Server::stop(int grace_ms) {
+  LockGuard lifecycle(lifecycle_mu_);
   if (!running()) return;
   stopping_.store(true, std::memory_order_release);
   // Grace window: in-flight connections notice the stop flag at their next
@@ -224,8 +226,19 @@ void Server::worker_loop() {
     if (!sock) continue;
     counters_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
     counters_->connections_active.fetch_add(1, std::memory_order_relaxed);
-    serve_connection(std::move(*sock));
-    counters_->connections_active.fetch_sub(1, std::memory_order_relaxed);
+    // The decrement rides a scope guard and the handler runs inside a
+    // catch-all: anything serve_connection leaks (bad_alloc building a reply,
+    // an unexpected throw past the per-frame handling) must cost one
+    // connection, not std::terminate the daemon or wedge the active count.
+    struct ActiveGuard {
+      std::atomic<std::uint64_t>& n;
+      ~ActiveGuard() { n.fetch_sub(1, std::memory_order_relaxed); }
+    } active{counters_->connections_active};
+    try {
+      serve_connection(std::move(*sock));
+    } catch (const std::exception&) {
+      // Connection dropped; the socket closes with the Socket RAII owner.
+    }
   }
 }
 
@@ -337,6 +350,20 @@ bool Server::handle_frame(FrameChannel& ch, ConnState& st, const Frame& f) {
         send_error(ch, ErrCode::kInternal, e.what());
         return true;
       }
+      const std::vector<SegmentId> ids = os.handle->segment_ids();
+      // Reject un-streamable archives here, while rejection is still a typed
+      // ERROR: once EXECUTE starts streaming SEGMENT frames the session has
+      // already been charged and an oversized payload could only drop the
+      // connection mid-reply.
+      for (const SegmentId& id : ids) {
+        const std::size_t size = os.handle->segment_size(id);
+        if (size > kMaxSegmentPayloadBytes) {
+          send_error(ch, ErrCode::kInternal,
+                     "archive segment exceeds the wire frame cap", size,
+                     kMaxSegmentPayloadBytes);
+          return true;
+        }
+      }
       const std::uint32_t open_id = st.next_open_id++;
       ByteWriter w;
       w.u32(open_id);
@@ -346,7 +373,6 @@ bool Server::handle_frame(FrameChannel& ch, ConnState& st, const Frame& f) {
       const Bytes& header = os.handle->header_bytes();
       w.varint(header.size());
       w.bytes({header.data(), header.size()});
-      const std::vector<SegmentId> ids = os.handle->segment_ids();
       w.varint(ids.size());
       for (const SegmentId& id : ids) {
         w.u64(id.key(os.handle->version()));

@@ -73,11 +73,12 @@ class Server {
 
   /// Bind the listen address and spawn the handler pool.  Throws on bind
   /// failure (address in use, bad spec, ...).
-  void start();
+  void start() IPCOMP_EXCLUDES(lifecycle_mu_);
   /// Graceful drain: stop accepting, wait up to `grace_ms` for in-flight
   /// connections to finish, then force-close the rest and join the pool.
-  /// Idempotent.
-  void stop(int grace_ms = 1000);
+  /// Idempotent; concurrent callers (e.g. a user stop racing the destructor)
+  /// serialize on the lifecycle lock and only one performs the drain/join.
+  void stop(int grace_ms = 1000) IPCOMP_EXCLUDES(lifecycle_mu_, mu_);
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Dialable address — with TCP port 0 this is the port actually bound.
@@ -111,6 +112,12 @@ class Server {
 
   ServerConfig cfg_;
   ArchiveSet set_;
+  /// Serializes start/stop so racing callers cannot both join/clear the same
+  /// worker threads.  listener_ and workers_ are only mutated under it;
+  /// handler threads read listener_ without it (start happens-before the
+  /// spawn, stop joins them before tearing it down).  Never taken by handler
+  /// threads, so stop() may hold it across the join without deadlock.
+  mutable Mutex lifecycle_mu_;
   std::unique_ptr<Listener> listener_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};

@@ -1,6 +1,7 @@
 #include "net/wire.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -134,6 +135,16 @@ Listener::Listener(const std::string& spec, int backlog)
   if (::listen(fd_.fd(), backlog) != 0) {
     throw_errno(WireError::Kind::kIo, "listen " + spec);
   }
+  // Non-blocking accepts are load-bearing: many acceptor threads poll this
+  // one fd, and a readable listener wakes them all.  Only one accept wins;
+  // with a blocking fd the losers would park inside accept(2), never
+  // re-check their stop flag, and hang Server::stop at join.  (The same
+  // applies single-threaded when the pending connection resets between poll
+  // and accept.)  Accepted connections do NOT inherit O_NONBLOCK.
+  const int flags = ::fcntl(fd_.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno(WireError::Kind::kIo, "fcntl O_NONBLOCK " + spec);
+  }
   if (!addr_.unix_domain) {
     sockaddr_in bound{};
     socklen_t len = sizeof bound;
@@ -166,8 +177,17 @@ std::optional<Socket> Listener::accept(int timeout_ms) {
     throw_errno(WireError::Kind::kIo, "poll");
   }
   Socket s(::accept(fd_.fd(), nullptr, nullptr));
-  // A connection that vanished between poll and accept is just a timeout.
-  if (!s.valid()) return std::nullopt;
+  if (!s.valid()) {
+    // The listener is non-blocking, so losing the accept race to another
+    // acceptor thread (EAGAIN), a connection that reset between poll and
+    // accept (ECONNABORTED), or a signal are all just timeouts; the caller
+    // re-checks its stop flag and polls again.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED ||
+        errno == EINTR) {
+      return std::nullopt;
+    }
+    throw_errno(WireError::Kind::kIo, "accept");
+  }
   return s;
 }
 

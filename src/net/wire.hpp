@@ -55,6 +55,12 @@ inline constexpr std::size_t kMaxFrameBytes = std::size_t{256} << 20;
 /// Requests, all tiny, so the inbound cap is much tighter — a forged length
 /// can make the server allocate at most this much.
 inline constexpr std::size_t kMaxRequestFrameBytes = std::size_t{64} << 10;
+/// Largest segment payload a SEGMENT frame can carry: the client-side frame
+/// cap minus the opcode byte and the u64 segment key.  The server checks
+/// every exported segment against this at OPEN time, so an archive that
+/// cannot be streamed is a typed ERROR up front — never a connection dropped
+/// mid-EXECUTE after the session was already charged.
+inline constexpr std::size_t kMaxSegmentPayloadBytes = kMaxFrameBytes - 9;
 
 enum class Op : std::uint8_t {
   // Client -> server.

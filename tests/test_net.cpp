@@ -6,6 +6,7 @@
 // stress the tsan preset runs against one live daemon.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstddef>
 #include <string>
 #include <thread>
@@ -353,6 +354,35 @@ TEST(Net, StalePlanTokensDieWithTheEpoch) {
   remote.retrieve(Request::bytes(2000));  // advances the epoch
   EXPECT_THROW(remote.execute(p1), std::logic_error);
   server.stop();
+}
+
+// Every connection arrival wakes all acceptor threads polling the one
+// listener fd, and only one accept(2) succeeds.  The losers must return to
+// their poll loop (the listener is non-blocking) rather than park inside
+// accept(2) — a parked acceptor never rechecks the stop flag and stop()
+// would hang forever joining it.  Racing stops must also both return, with
+// exactly one performing the drain/join.
+TEST(Net, StopReturnsPromptlyAfterAcceptWakeStorms) {
+  auto field = smooth_field(Dims{16, 12, 8}, 89, 0.05);
+  net::ServerConfig cfg;
+  cfg.workers = 4;
+  net::Server server(cfg);
+  server.export_memory("a", make_archive(field, 1e-6, 8));
+  server.start();
+
+  // Sequential short-lived connections: each arrival is a fresh wake storm
+  // across the idle acceptors.
+  for (int i = 0; i < 6; ++i) {
+    net::RemoteReader<double> remote(server.address(), "a");
+    remote.retrieve(Request::error_bound(1e-2));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread racer([&] { server.stop(); });
+  server.stop();
+  racer.join();
+  EXPECT_FALSE(server.running());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30));
 }
 
 // ---- the tsan-preset stress test ------------------------------------------
