@@ -18,6 +18,12 @@
 // path and once with plain fread, measuring remote throughput and the
 // compressed bytes actually on the wire against the logical bytes delivered
 // and the resend-everything baseline a non-progressive protocol would move.
+//
+// A fourth block measures the v4 integrity machinery itself: checksum64
+// (word-parallel XXH64) over every segment payload of the bench archive,
+// reported as serve.integrity.verify_gbps — CI asserts it is present and
+// nonzero, pinning the claim that per-read verification rides at memory
+// bandwidth next to decode cost.
 #include <barrier>
 #include <chrono>
 #include <cstdint>
@@ -32,6 +38,7 @@
 #include "ipcomp.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "util/checksum.hpp"
 
 namespace {
 
@@ -197,6 +204,40 @@ DaemonResult run_daemon(const std::string& path, int clients, const Dims& dims,
   return r;
 }
 
+struct IntegrityResult {
+  double verify_gbps = 0.0;
+  std::size_t segments = 0;
+  std::size_t bytes = 0;
+};
+
+/// Checksum64 throughput over the archive's segment payloads — the exact
+/// work every physical read, cache insert, and SEGMENT frame performs.
+IntegrityResult run_integrity(const Bytes& archive) {
+  MemorySource src{Bytes(archive)};
+  const std::vector<SegmentId> ids = src.segment_ids();
+  const std::vector<Bytes> payloads = src.read_many(ids);
+
+  IntegrityResult r;
+  r.segments = payloads.size();
+  for (const Bytes& p : payloads) r.bytes += p.size();
+
+  // Warm up once, then time whole-archive verification sweeps until the
+  // clock has accumulated enough signal for a stable GB/s figure.
+  volatile std::uint64_t sink = 0;
+  for (const Bytes& p : payloads) sink = sink ^ checksum64(p.data(), p.size());
+  int sweeps = 0;
+  double seconds = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  do {
+    for (const Bytes& p : payloads) sink = sink ^ checksum64(p.data(), p.size());
+    ++sweeps;
+    seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0).count();
+  } while (seconds < 0.25);
+  r.verify_gbps = static_cast<double>(r.bytes) * sweeps / seconds / 1e9;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,6 +280,7 @@ int main(int argc, char** argv) {
       run_daemon(path, clients, dims, std::size_t{64} << 20, /*use_mmap=*/true);
   DaemonResult daemon_fread =
       run_daemon(path, clients, dims, std::size_t{64} << 20, /*use_mmap=*/false);
+  const IntegrityResult integrity = run_integrity(archive);
   std::remove(path.c_str());
 
   // Equal reconstructions or the comparison is meaningless — and the remote
@@ -284,6 +326,16 @@ int main(int argc, char** argv) {
               static_cast<std::size_t>(daemon_mmap.resend_bytes),
               static_cast<double>(daemon_mmap.resend_bytes) /
                   static_cast<double>(daemon_mmap.wire_bytes ? daemon_mmap.wire_bytes : 1));
+
+  std::printf("integrity: %.2f GB/s verifying %zu segments (%zu bytes)\n",
+              integrity.verify_gbps, integrity.segments, integrity.bytes);
+
+  // Per-read verification must be fast enough to ride every boundary; a
+  // zero figure means the checksum column or the kernel went missing.
+  if (integrity.verify_gbps <= 0.0 || integrity.segments == 0) {
+    std::fprintf(stderr, "FAIL: integrity verify throughput not measured\n");
+    return 1;
+  }
 
   // Progressive transfer is the protocol's point: the wire must carry no
   // more than the ledger's bytes_new and strictly less than re-sending the
@@ -339,6 +391,11 @@ int main(int argc, char** argv) {
                  static_cast<std::size_t>(daemon_mmap.resend_bytes));
     std::fprintf(json, "    \"seconds_mmap\": %.4f,\n", daemon_mmap.seconds);
     std::fprintf(json, "    \"seconds_fread\": %.4f\n", daemon_fread.seconds);
+    std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"integrity\": {\n");
+    std::fprintf(json, "    \"verify_gbps\": %.3f,\n", integrity.verify_gbps);
+    std::fprintf(json, "    \"segments\": %zu,\n", integrity.segments);
+    std::fprintf(json, "    \"bytes\": %zu\n", integrity.bytes);
     std::fprintf(json, "  }\n");
     std::fprintf(json, "}\n");
     std::fclose(json);

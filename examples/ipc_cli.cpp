@@ -76,7 +76,7 @@ using namespace ipcomp;
       "  ipc serve    <archive.ipc> [--clients N] [--rounds R] [--cache-budget MB]\n"
       "               [--quota BYTES]\n"
       "  ipc serve    <archive.ipc> --listen ADDR [--workers N] [--mmap on|off]\n"
-      "               [--cache-budget MB] [--quota BYTES]\n"
+      "               [--cache-budget MB] [--quota BYTES] [--fault-seed S]\n"
       "  ipc serve    <name> --connect ADDR [--clients N] [--rounds R]\n";
   std::exit(2);
 }
@@ -410,11 +410,12 @@ std::size_t cache_budget_bytes(const Args& a) {
 }
 
 void print_serve_stats(const net::ServeStats& s) {
-  static const char* kOps[] = {"HELLO",   "OPEN",  "PLAN",   "EXECUTE",
-                               "STAT",    "CLOSE", "unknown"};
+  static const char* kOps[] = {"HELLO", "OPEN",   "PLAN",   "EXECUTE",
+                               "STAT",  "CLOSE",  "RESUME", "unknown"};
   std::cout << "connections : " << s.connections_accepted << " accepted, "
             << s.connections_active << " active, " << s.idle_reaped
-            << " idle-reaped\n"
+            << " idle-reaped, " << s.slow_client_evictions
+            << " slow-evicted\n"
             << "frames      : " << s.frames_in << " in / " << s.frames_out
             << " out (";
   for (std::size_t i = 0; i < s.frames_by_opcode.size(); ++i) {
@@ -432,6 +433,10 @@ void print_serve_stats(const net::ServeStats& s) {
             << " misses (rate " << TableReporter::num(s.cache.hit_rate(), 3)
             << "), " << s.cache.resident_bytes << "/" << s.cache.capacity_bytes
             << " bytes resident\n";
+  if (s.faults_injected != 0) {
+    std::cout << "faults      : " << s.faults_injected
+              << " injected (--fault-seed)\n";
+  }
 }
 
 volatile std::sig_atomic_t g_stop = 0;
@@ -447,6 +452,9 @@ int do_serve_listen(const Args& a) {
     if (cfg.workers == 0) usage("--workers must be >= 1");
   }
   if (auto q = a.get("quota")) cfg.session_quota = parse_size(*q, "quota");
+  if (auto s = a.get("fault-seed")) {
+    cfg.fault_seed = parse_size(*s, "fault-seed");
+  }
   cfg.serve.cache_capacity_bytes = cache_budget_bytes(a);
   if (auto m = a.get("mmap")) {
     if (*m != "on" && *m != "off") usage("--mmap wants on|off");
@@ -465,6 +473,10 @@ int do_serve_listen(const Args& a) {
             << cfg.workers << " workers, "
             << (cfg.serve.use_mmap ? "mmap" : "fread") << " storage, cache "
             << cfg.serve.cache_capacity_bytes << " bytes)\n";
+  if (cfg.fault_seed != 0) {
+    std::cout << "fault injection armed: seed " << cfg.fault_seed
+              << " (send-side resets/torn writes/stalls)\n";
+  }
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -662,7 +674,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == "serve") {
       args.allow_only({"clients", "rounds", "cache-mb", "cache-budget",
-                       "quota", "listen", "connect", "mmap", "workers"});
+                       "quota", "listen", "connect", "mmap", "workers",
+                       "fault-seed"});
       if (args.positional.size() != 1) usage();
       if (args.get("listen") && args.get("connect")) {
         usage("--listen and --connect are mutually exclusive");
@@ -687,6 +700,12 @@ int main(int argc, char** argv) {
       if (args.positional.size() != 2 || !args.get("dims")) usage();
       return f32 ? do_stats<float>(args) : do_stats<double>(args);
     }
+  } catch (const net::WireError& e) {
+    // Network failures (refused --connect, --listen address in use, a peer
+    // that vanished) exit 2 like usage errors: the command never ran, and
+    // the message carries op/peer/errno context from the wire layer.
+    std::cerr << "network error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

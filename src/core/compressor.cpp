@@ -103,6 +103,7 @@ Bytes compress(NdConstView<T> input, const Options& opt) {
   } else {
     builder.set_version(kArchiveV3);
   }
+  builder.set_integrity(opt.integrity);
 
   if (block_side == 0) {
     // Legacy whole-field mode: one block spanning the field; the backend's

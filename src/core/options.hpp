@@ -40,6 +40,14 @@ struct Options {
   /// old `try_lzh = false` cheap path.
   CodecPolicy codec = CodecPolicy::kProbe;
 
+  /// Record a per-segment XXH64 checksum at build time (archive container
+  /// v4, wrapping whichever base version the backend picks).  Every physical
+  /// read — file, mmap, cache insert, wire frame — then verifies the payload
+  /// and surfaces IntegrityError instead of corrupt data.  Off reproduces
+  /// the pre-v4 container byte-for-byte (golden archives, size-sensitive
+  /// comparisons against other compressors).
+  bool integrity = true;
+
   /// Side length of the cubic blocks the field is decomposed into (archive
   /// format v2).  Blocks are compressed independently and concurrently, and
   /// readers can decode only the blocks intersecting a region of interest.

@@ -4,7 +4,60 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/checksum.hpp"
+
 namespace ipcomp {
+
+namespace {
+
+const char* layer_name(IntegrityError::Layer layer) {
+  switch (layer) {
+    case IntegrityError::Layer::kStorage:
+      return "storage";
+    case IntegrityError::Layer::kCache:
+      return "cache";
+    case IntegrityError::Layer::kWire:
+      return "wire";
+  }
+  return "?";
+}
+
+std::string integrity_message(SegmentId id, std::uint64_t expected,
+                              std::uint64_t actual,
+                              IntegrityError::Layer layer) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "integrity: segment (kind=%u level=%u plane=%u block=%u) "
+                "checksum mismatch at %s layer: expected %016llx, got %016llx",
+                unsigned{id.kind}, unsigned{id.level}, unsigned{id.plane},
+                unsigned{id.block}, layer_name(layer),
+                static_cast<unsigned long long>(expected),
+                static_cast<unsigned long long>(actual));
+  return buf;
+}
+
+/// One stderr note per process when a pre-v4 container is opened; the data
+/// still reads, it just cannot be verified.
+void warn_integrity_unavailable(std::uint32_t version) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "ipcomp: archive container v%u predates per-segment "
+                 "checksums; integrity verification is unavailable "
+                 "(recompress with integrity enabled to upgrade)\n",
+                 version);
+  }
+}
+
+}  // namespace
+
+IntegrityError::IntegrityError(SegmentId segment, std::uint64_t expected,
+                               std::uint64_t actual, Layer layer)
+    : std::runtime_error(integrity_message(segment, expected, actual, layer)),
+      segment_(segment),
+      expected_(expected),
+      actual_(actual),
+      layer_(layer) {}
 
 std::vector<Bytes> SegmentSource::read_many(std::span<const SegmentId> ids) {
   std::vector<Bytes> out;
@@ -50,13 +103,21 @@ std::uint64_t SegmentId::key(std::uint32_t version) const {
 Bytes ArchiveBuilder::finish() const {
   ByteWriter w;
   w.u32(kMagic);
-  w.u32(version_);
+  if (integrity_) {
+    w.u32(kArchiveV4);
+    w.u32(version_);  // base version: key packing + header format
+    w.u8(kChecksumXXH64);
+  } else {
+    w.u32(version_);
+  }
   w.varint(header_.size());
   w.bytes(header_);
   w.varint(order_.size());
   for (std::uint64_t key : order_) {
+    const Bytes& payload = segments_.at(key);
     w.u64(key);
-    w.varint(segments_.at(key).size());
+    w.varint(payload.size());
+    if (integrity_) w.u64(checksum64(payload.data(), payload.size()));
   }
   for (std::uint64_t key : order_) {
     w.bytes(segments_.at(key));
@@ -69,37 +130,72 @@ ArchiveIndex ArchiveIndex::parse(std::span<const std::uint8_t> head_bytes,
   ByteReader r(head_bytes);
   if (r.u32() != kMagic) throw std::runtime_error("archive: bad magic");
   ArchiveIndex idx;
-  idx.version = r.u32();
+  idx.container = r.u32();
+  if (idx.container == kArchiveV4) {
+    // Integrity wrapper: the base version follows, then the checksum algo.
+    idx.version = r.u32();
+    idx.has_checksums = true;
+    if (r.u8() != kChecksumXXH64) {
+      throw std::runtime_error("archive: unknown checksum algorithm");
+    }
+  } else {
+    idx.version = idx.container;
+  }
   if (idx.version < kArchiveV1 || idx.version > kArchiveV3) {
     throw std::runtime_error("archive: bad version");
   }
+  if (!idx.has_checksums) warn_integrity_unavailable(idx.version);
   idx.total_size = total_size;
   idx.header_length = r.varint();
   idx.header_offset = r.position();
   // Skip over the header payload to reach the segment table.
   r.bytes(idx.header_length);
   std::size_t count = r.varint();
-  // Each table row encodes to at least 9 bytes (u64 key + 1-byte varint); a
-  // forged count must not drive the reserve() allocation below.
-  if (count > r.remaining() / 9) throw std::runtime_error("archive: bad segment count");
-  std::vector<std::pair<std::uint64_t, std::size_t>> lengths;
-  lengths.reserve(count);
+  // Each table row encodes to at least 9 bytes (u64 key + 1-byte varint;
+  // +8 for the v4 checksum column); a forged count must not drive the
+  // reserve() allocation below.
+  const std::size_t min_row = idx.has_checksums ? 17 : 9;
+  if (count > r.remaining() / min_row) {
+    throw std::runtime_error("archive: bad segment count");
+  }
+  struct Row {
+    std::uint64_t key;
+    std::size_t len;
+    std::uint64_t checksum;
+  };
+  std::vector<Row> rows;
+  rows.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    std::uint64_t key = r.u64();
-    std::size_t len = r.varint();
-    lengths.emplace_back(key, len);
+    Row row{};
+    row.key = r.u64();
+    row.len = r.varint();
+    if (idx.has_checksums) row.checksum = r.u64();
+    rows.push_back(row);
   }
   std::size_t offset = r.position();
-  for (auto [key, len] : lengths) {
+  for (const Row& row : rows) {
     // Checked per entry so a huge forged len cannot wrap offset += len.
-    if (len > total_size - offset) throw std::runtime_error("archive: truncated");
+    if (row.len > total_size - offset) throw std::runtime_error("archive: truncated");
     // Duplicate keys would silently alias two payload ranges to one id.
-    if (!idx.entries.emplace(key, Entry{key, offset, len}).second) {
+    if (!idx.entries
+             .emplace(row.key, Entry{row.key, offset, row.len, row.checksum})
+             .second) {
       throw std::runtime_error("archive: duplicate segment key");
     }
-    offset += len;
+    offset += row.len;
   }
   return idx;
+}
+
+void ArchiveIndex::verify(const Entry& entry,
+                          std::span<const std::uint8_t> payload) const {
+  if (!has_checksums) return;
+  const std::uint64_t actual = checksum64(payload.data(), payload.size());
+  if (actual != entry.checksum) {
+    throw IntegrityError(SegmentId::from_key(entry.key, version),
+                         entry.checksum, actual,
+                         IntegrityError::Layer::kStorage);
+  }
 }
 
 MemorySource::MemorySource(Bytes archive) : blob_(std::move(archive)) {
@@ -123,6 +219,8 @@ const Bytes& MemorySource::header() {
 Bytes MemorySource::read_segment(SegmentId id) {
   auto it = index_.entries.find(id.key(index_.version));
   if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
+  // Verified (and only then charged) before the payload is handed out.
+  index_.verify(it->second, {blob_.data() + it->second.offset, it->second.length});
   charge_bytes(it->second.length);
   count_read_call();
   return Bytes(blob_.begin() + it->second.offset,
@@ -188,9 +286,12 @@ const Bytes& FileSource::header() {
 Bytes FileSource::read_segment(SegmentId id) {
   auto it = index_.entries.find(id.key(index_.version));
   if (it == index_.entries.end()) throw std::runtime_error("archive: missing segment");
+  Bytes payload = read_range(it->second.offset, it->second.length);
+  // Verified (and only then charged) before the payload is handed out.
+  index_.verify(it->second, {payload.data(), payload.size()});
   charge_bytes(it->second.length);
   count_read_call();
-  return read_range(it->second.offset, it->second.length);
+  return payload;
 }
 
 std::vector<Bytes> FileSource::read_many(std::span<const SegmentId> ids) {
@@ -205,6 +306,7 @@ std::vector<Bytes> FileSource::read_many(std::span<const SegmentId> ids) {
     std::size_t idx;  // position in the request (and output) order
     std::size_t offset;
     std::size_t length;
+    const ArchiveIndex::Entry* entry;
   };
   std::vector<Item> items;
   items.reserve(ids.size());
@@ -213,7 +315,7 @@ std::vector<Bytes> FileSource::read_many(std::span<const SegmentId> ids) {
     if (it == index_.entries.end()) {
       throw std::runtime_error("archive: missing segment");
     }
-    items.push_back({i, it->second.offset, it->second.length});
+    items.push_back({i, it->second.offset, it->second.length, &it->second});
   }
   std::sort(items.begin(), items.end(),
             [](const Item& a, const Item& b) { return a.offset < b.offset; });
@@ -241,6 +343,10 @@ std::vector<Bytes> FileSource::read_many(std::span<const SegmentId> ids) {
     count_coalesced_range();
     for (; i < j; ++i) {
       const Item& item = items[i];
+      // Each slice is verified straight out of the coalesced buffer; a
+      // corrupt segment throws here, before the batch charges anything.
+      index_.verify(*item.entry,
+                    {buf.data() + (item.offset - begin), item.length});
       out[item.idx].assign(buf.begin() + (item.offset - begin),
                            buf.begin() + (item.offset - begin) + item.length);
     }

@@ -10,12 +10,25 @@
 //   | segment_count varint | per segment: (id u64, length varint)
 //   | segment payloads, in table order
 //
-// Three versions exist.  v1 and v2 differ in how SegmentId packs into the u64
-// table key: v1 has no block axis (kind:16 | level:16 | plane:32); v2 adds
-// one for block-decomposed archives (kind:8 | level:8 | plane:12 | block:36).
-// v3 keeps the v2 key packing and differs only in its header, which names the
-// progressive backend that owns the payload.  Readers accept all three,
-// keyed off the version word.
+// Three base versions exist.  v1 and v2 differ in how SegmentId packs into
+// the u64 table key: v1 has no block axis (kind:16 | level:16 | plane:32);
+// v2 adds one for block-decomposed archives (kind:8 | level:8 | plane:12 |
+// block:36).  v3 keeps the v2 key packing and differs only in its header,
+// which names the progressive backend that owns the payload.  Readers accept
+// all three, keyed off the version word.
+//
+// v4 is an *integrity wrapper* around any base version, adding a per-segment
+// checksum column to the table:
+//   magic "IPCA" | 4 u32 | base_version u32 | checksum_algo u8
+//   | header_len varint | header bytes
+//   | segment_count varint | per segment: (id u64, length varint, xxh64 u64)
+//   | segment payloads, in table order
+// Key packing, header interpretation and reader dispatch all follow the base
+// version — SegmentSource::version() keeps reporting it — so a v4 container
+// is transparent to everything above the source layer.  Checksums are
+// verified on every physical read; a mismatch surfaces as IntegrityError,
+// never as wrong payload bytes.  v1–v3 archives still read (one warning per
+// process that integrity verification is unavailable for them).
 #pragma once
 
 #include <atomic>
@@ -23,6 +36,7 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -36,6 +50,12 @@ inline constexpr std::uint32_t kArchiveV2 = 2;  // block-decomposed fields
 /// v3 containers key segments exactly like v2 but carry a v3 header
 /// (backend id + metadata); written by every non-interpolation backend.
 inline constexpr std::uint32_t kArchiveV3 = 3;
+/// v4 wraps a v1–v3 base container with a per-segment checksum column; the
+/// container word is 4 and the base version follows it (see file comment).
+inline constexpr std::uint32_t kArchiveV4 = 4;
+/// The only checksum_algo a v4 container may carry today: XXH64
+/// (util/checksum.hpp).
+inline constexpr std::uint8_t kChecksumXXH64 = 1;
 
 /// Identifies one independently-retrievable piece of compressed data.
 /// For IPComp: kind distinguishes base data from bitplanes; `level` is the
@@ -69,6 +89,30 @@ struct SegmentId {
   bool operator==(const SegmentId&) const = default;
 };
 
+/// A segment's bytes did not match the checksum recorded at build time.
+/// `layer` names the trust boundary that caught it: kStorage (a physical
+/// Memory/File/Mmap read), kCache (SegmentCache insert), kWire (a SEGMENT
+/// frame on the client).  Thrown *instead of* delivering the payload, so
+/// corruption can never flow into reconstruction.
+class IntegrityError : public std::runtime_error {
+ public:
+  enum class Layer { kStorage, kCache, kWire };
+
+  IntegrityError(SegmentId segment, std::uint64_t expected,
+                 std::uint64_t actual, Layer layer);
+
+  SegmentId segment() const { return segment_; }
+  std::uint64_t expected() const { return expected_; }
+  std::uint64_t actual() const { return actual_; }
+  Layer layer() const { return layer_; }
+
+ private:
+  SegmentId segment_;
+  std::uint64_t expected_;
+  std::uint64_t actual_;
+  Layer layer_;
+};
+
 /// Builder-side archive: header + segments assembled during compression.
 ///
 /// Thread contract: externally-synchronized.  Compression assembles per-block
@@ -79,6 +123,13 @@ class ArchiveBuilder {
   /// Must be chosen before the first add_segment (keys pack differently).
   void set_version(std::uint32_t version) { version_ = version; }
   std::uint32_t version() const { return version_; }
+
+  /// When enabled, finish() wraps the archive in a v4 container whose table
+  /// records an XXH64 checksum per segment (see the file comment); the base
+  /// version set above still governs key packing and header format.  Off by
+  /// default so hand-built containers and pre-v4 golden bytes reproduce
+  /// exactly; the compressor turns it on via Options::integrity.
+  void set_integrity(bool on) { integrity_ = on; }
 
   void set_header(Bytes header) { header_ = std::move(header); }
 
@@ -100,6 +151,7 @@ class ArchiveBuilder {
 
  private:
   std::uint32_t version_ = kArchiveV1;
+  bool integrity_ = false;
   Bytes header_;
   std::vector<std::uint64_t> order_;
   std::map<std::uint64_t, Bytes> segments_;
@@ -160,8 +212,17 @@ class SegmentSource {
   /// All segment ids present in the container, in table order.  Free to call:
   /// the index is part of the open cost, nothing extra is charged.
   virtual std::vector<SegmentId> segment_ids() const = 0;
-  /// Archive format version parsed from the container.
+  /// Archive format version parsed from the container.  For a v4 container
+  /// this is the *base* version (1–3): key packing and header interpretation
+  /// never depend on the integrity wrapper.
   virtual std::uint32_t version() const = 0;
+
+  /// Checksum recorded for `id` at build time, or nullopt when the container
+  /// predates v4 (or the id is unknown).  Decorator sources forward this so
+  /// downstream trust boundaries (cache inserts, wire frames) can re-verify.
+  virtual std::optional<std::uint64_t> segment_checksum(SegmentId) const {
+    return std::nullopt;
+  }
 
   /// One coherent snapshot of the accounting counters.
   SourceStats stats() const {
@@ -206,16 +267,35 @@ inline constexpr std::size_t kCoalesceGapBytes = 4096;
 
 /// Parses the serialized archive layout; shared by the concrete sources.
 struct ArchiveIndex {
+  /// Base version (1–3): governs key packing and header format.
   std::uint32_t version = kArchiveV1;
+  /// Container word as serialized: equals `version` for v1–v3, 4 when the
+  /// table carries the checksum column.
+  std::uint32_t container = kArchiveV1;
+  bool has_checksums = false;
   std::size_t header_offset = 0;
   std::size_t header_length = 0;
   struct Entry {
     std::uint64_t key;
     std::size_t offset;
     std::size_t length;
+    std::uint64_t checksum = 0;  // valid only when has_checksums
   };
   std::map<std::uint64_t, Entry> entries;
   std::size_t total_size = 0;
+
+  /// Recorded checksum for `key`, if this container has the column.
+  std::optional<std::uint64_t> checksum_of(std::uint64_t key) const {
+    if (!has_checksums) return std::nullopt;
+    auto it = entries.find(key);
+    if (it == entries.end()) return std::nullopt;
+    return it->second.checksum;
+  }
+
+  /// Verify `payload` against the checksum recorded for `entry`; throws
+  /// IntegrityError{.layer = kStorage} on mismatch, no-op for pre-v4
+  /// containers.  Concrete sources call this on every physical read.
+  void verify(const Entry& entry, std::span<const std::uint8_t> payload) const;
 
   /// All segment ids in the index, decoded under the parsed version.
   std::vector<SegmentId> ids() const {
@@ -248,6 +328,9 @@ class MemorySource final : public SegmentSource {
   std::size_t segment_size(SegmentId id) const override;
   std::vector<SegmentId> segment_ids() const override { return index_.ids(); }
   std::uint32_t version() const override { return index_.version; }
+  std::optional<std::uint64_t> segment_checksum(SegmentId id) const override {
+    return index_.checksum_of(id.key(index_.version));
+  }
   std::size_t total_size() const override { return blob_.size(); }
 
  private:
@@ -280,6 +363,9 @@ class FileSource final : public SegmentSource {
   std::size_t segment_size(SegmentId id) const override;
   std::vector<SegmentId> segment_ids() const override { return index_.ids(); }
   std::uint32_t version() const override { return index_.version; }
+  std::optional<std::uint64_t> segment_checksum(SegmentId id) const override {
+    return index_.checksum_of(id.key(index_.version));
+  }
   std::size_t total_size() const override { return file_size_; }
 
  private:

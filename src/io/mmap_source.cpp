@@ -96,6 +96,8 @@ Bytes MmapSource::read_segment(SegmentId id) {
     return out;
   }
   const ArchiveIndex::Entry& e = resolve(id);
+  // Verified straight off the mapping, before the payload is handed out.
+  index_.verify(e, {map_ + e.offset, e.length});
   charge_bytes(e.length);
   count_read_call();
   return {map_ + e.offset, map_ + e.offset + e.length};
@@ -119,12 +121,13 @@ std::vector<Bytes> MmapSource::read_many(std::span<const SegmentId> ids) {
     std::size_t idx;
     std::size_t offset;
     std::size_t length;
+    const ArchiveIndex::Entry* entry;
   };
   std::vector<Item> items;
   items.reserve(ids.size());
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const ArchiveIndex::Entry& e = resolve(ids[i]);
-    items.push_back({i, e.offset, e.length});
+    items.push_back({i, e.offset, e.length, &e});
   }
   std::sort(items.begin(), items.end(),
             [](const Item& a, const Item& b) { return a.offset < b.offset; });
@@ -140,6 +143,8 @@ std::vector<Bytes> MmapSource::read_many(std::span<const SegmentId> ids) {
     count_coalesced_range();
     for (; i < j; ++i) {
       const Item& item = items[i];
+      // Verified off the mapping before the batch charges anything.
+      index_.verify(*item.entry, {map_ + item.offset, item.length});
       out[item.idx].assign(map_ + item.offset,
                            map_ + item.offset + item.length);
     }
@@ -166,6 +171,11 @@ std::vector<SegmentId> MmapSource::segment_ids() const {
 std::uint32_t MmapSource::version() const {
   if (fallback_) return fallback_->version();
   return index_.version;
+}
+
+std::optional<std::uint64_t> MmapSource::segment_checksum(SegmentId id) const {
+  if (fallback_) return fallback_->segment_checksum(id);
+  return index_.checksum_of(id.key(index_.version));
 }
 
 std::size_t MmapSource::total_size() const {

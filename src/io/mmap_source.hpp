@@ -52,6 +52,7 @@ class MmapSource final : public SegmentSource {
   std::size_t segment_size(SegmentId id) const override;
   std::vector<SegmentId> segment_ids() const override;
   std::uint32_t version() const override;
+  std::optional<std::uint64_t> segment_checksum(SegmentId id) const override;
   std::size_t total_size() const override;
 
  private:

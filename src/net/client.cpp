@@ -1,5 +1,10 @@
 #include "net/client.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "util/checksum.hpp"
+
 namespace ipcomp::net {
 
 // ---- StagedSource ---------------------------------------------------------
@@ -68,17 +73,34 @@ namespace {
 
 RemoteArchive::RemoteArchive(const std::string& spec, const std::string& name,
                              int timeout_ms)
-    : ch_([&] {
-        Socket s = dial(spec);
-        s.set_timeouts(timeout_ms, timeout_ms);
-        return s;
-      }(),
-          kMaxFrameBytes) {
+    : spec_(spec), name_(name), timeout_ms_(timeout_ms) {
+  connect();
+  handshake(/*reopening=*/false);
+}
+
+void RemoteArchive::connect() {
+  Socket s = dial(spec_);
+  s.set_timeouts(timeout_ms_, timeout_ms_);
+  ch_.emplace(std::move(s), kMaxFrameBytes);
+  if (faults_) ch_->set_fault_injector(faults_);
+}
+
+void RemoteArchive::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  faults_ = std::move(injector);
+  if (ch_) ch_->set_fault_injector(faults_);
+}
+
+void RemoteArchive::reconnect() {
+  connect();  // the old channel (if any) closes with its Socket
+  handshake(/*reopening=*/true);
+}
+
+void RemoteArchive::handshake(bool reopening) {
   // HELLO.
   {
     ByteWriter w;
     w.u32(kWireVersion);
-    ch_.send(Op::kHello, w);
+    ch_->send(Op::kHello, w);
     Frame f = expect_reply(Op::kHelloOk);
     ByteReader r({f.body.data(), f.body.size()});
     if (r.u32() != kWireVersion) {
@@ -86,38 +108,66 @@ RemoteArchive::RemoteArchive(const std::string& spec, const std::string& name,
                       "server accepted HELLO with a different version");
     }
   }
-  // OPEN: prime the staged source from the reply.
+  // OPEN: prime the staged source from the reply — or, on a reconnect,
+  // insist the server still exports the identical archive.  A mismatch is
+  // not a transient fault: the mirror reader's residency would be priced
+  // against bytes the server no longer serves.
   {
     ByteWriter w;
-    w.string(name);
-    ch_.send(Op::kOpen, w);
+    w.string(name_);
+    ch_->send(Op::kOpen, w);
     Frame f = expect_reply(Op::kOpenOk);
     ByteReader r({f.body.data(), f.body.size()});
-    open_id_ = r.u32();
-    src_.version_ = r.u32();
-    src_.total_size_ = r.varint();
-    src_.open_cost_ = r.varint();
+    const std::uint32_t open_id = r.u32();
+    const std::uint32_t version = r.u32();
+    const std::size_t total_size = r.varint();
+    const std::size_t open_cost = r.varint();
     const std::size_t header_len = r.varint();
     auto header = r.bytes(header_len);
-    src_.header_.assign(header.begin(), header.end());
     const std::size_t n = r.varint();
-    src_.order_.reserve(n);
-    src_.sizes_.reserve(n);
+    const bool has_checksums = r.u8() != 0;
+    std::vector<std::uint64_t> order;
+    std::unordered_map<std::uint64_t, std::size_t> sizes;
+    std::unordered_map<std::uint64_t, std::uint64_t> checks;
+    order.reserve(n);
+    sizes.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint64_t key = r.u64();
       const std::size_t size = r.varint();
-      src_.order_.push_back(key);
-      src_.sizes_.emplace(key, size);
+      order.push_back(key);
+      sizes.emplace(key, size);
+      if (has_checksums) checks.emplace(key, r.u64());
     }
     if (!r.at_end()) {
       throw WireError(WireError::Kind::kProtocol,
                       "trailing bytes in OPEN_OK");
     }
+    if (reopening) {
+      const bool same = version == src_.version_ &&
+                        total_size == src_.total_size_ &&
+                        open_cost == src_.open_cost_ &&
+                        Bytes(header.begin(), header.end()) == src_.header_ &&
+                        order == src_.order_ && sizes == src_.sizes_ &&
+                        checks == src_.checks_;
+      if (!same) {
+        throw WireError(WireError::Kind::kProtocol,
+                        "archive changed across reconnect: " + name_);
+      }
+    } else {
+      src_.version_ = version;
+      src_.total_size_ = total_size;
+      src_.open_cost_ = open_cost;
+      src_.header_.assign(header.begin(), header.end());
+      src_.order_ = std::move(order);
+      src_.sizes_ = std::move(sizes);
+      src_.checks_ = std::move(checks);
+    }
+    open_id_ = open_id;
   }
 }
 
 Frame RemoteArchive::expect_reply(Op expect) {
-  std::optional<Frame> f = ch_.recv();
+  std::optional<Frame> f = ch_->recv();
   if (!f) {
     throw WireError(WireError::Kind::kClosed, "server closed the connection");
   }
@@ -137,7 +187,7 @@ PlanReply RemoteArchive::plan_remote(std::uint64_t epoch, const Request& req) {
   w.u32(open_id_);
   w.u64(epoch);
   write_request(w, req);
-  ch_.send(Op::kPlan, w);
+  ch_->send(Op::kPlan, w);
   Frame f = expect_reply(Op::kPlanOk);
   ByteReader r({f.body.data(), f.body.size()});
   PlanReply rep;
@@ -153,10 +203,10 @@ ExecReply RemoteArchive::execute_remote(std::uint64_t token) {
   ByteWriter w;
   w.u32(open_id_);
   w.varint(token);
-  ch_.send(Op::kExecute, w);
+  ch_->send(Op::kExecute, w);
   last_payload_bytes_ = 0;
   while (true) {
-    std::optional<Frame> got = ch_.recv();
+    std::optional<Frame> got = ch_->recv();
     if (!got) {
       throw WireError(WireError::Kind::kClosed,
                       "server closed the connection mid-execute");
@@ -174,6 +224,17 @@ ExecReply RemoteArchive::execute_remote(std::uint64_t token) {
       ByteReader r({f.body.data(), f.body.size()});
       const std::uint64_t key = r.u64();
       auto payload = r.bytes(r.remaining());
+      // Wire trust boundary: verify against the OPEN checksum column before
+      // the payload can reach the staging area (and the decoder).
+      auto check = src_.checks_.find(key);
+      if (check != src_.checks_.end()) {
+        const std::uint64_t actual = checksum64(payload.data(), payload.size());
+        if (actual != check->second) {
+          throw IntegrityError(SegmentId::from_key(key, src_.version_),
+                               check->second, actual,
+                               IntegrityError::Layer::kWire);
+        }
+      }
       last_payload_bytes_ += payload.size();
       wire_payload_bytes_ += payload.size();
       src_.stage(key, Bytes(payload.begin(), payload.end()));
@@ -189,8 +250,34 @@ ExecReply RemoteArchive::execute_remote(std::uint64_t token) {
   }
 }
 
+ResumeReply RemoteArchive::resume_remote(const std::vector<Request>& history) {
+  if (history.size() > kMaxResumeRequests) {
+    throw std::runtime_error(
+        "remote: resume history exceeds the protocol cap of " +
+        std::to_string(kMaxResumeRequests) + " requests");
+  }
+  ByteWriter w;
+  w.u32(open_id_);
+  w.varint(history.size());
+  for (const Request& req : history) write_request(w, req);
+  if (w.buffer().size() + 1 > kMaxRequestFrameBytes) {
+    throw std::runtime_error(
+        "remote: resume history exceeds the request frame cap");
+  }
+  ch_->send(Op::kResume, w);
+  Frame f = expect_reply(Op::kResumeOk);
+  ByteReader r({f.body.data(), f.body.size()});
+  ResumeReply rep;
+  rep.epoch = r.varint();
+  rep.bytes_used = r.varint();
+  if (!r.at_end()) {
+    throw WireError(WireError::Kind::kProtocol, "trailing bytes in RESUME_OK");
+  }
+  return rep;
+}
+
 ServeStats RemoteArchive::stat() {
-  ch_.send(Op::kStat, ByteWriter{});
+  ch_->send(Op::kStat, ByteWriter{});
   Frame f = expect_reply(Op::kStatOk);
   ByteReader r({f.body.data(), f.body.size()});
   return read_serve_stats(r);
@@ -199,9 +286,9 @@ ServeStats RemoteArchive::stat() {
 void RemoteArchive::close() {
   ByteWriter w;
   w.u32(open_id_);
-  ch_.send(Op::kClose, w);
+  ch_->send(Op::kClose, w);
   expect_reply(Op::kCloseOk);
-  ch_.socket().shutdown_both();
+  ch_->socket().shutdown_both();
 }
 
 // ---- RemoteReader ---------------------------------------------------------
@@ -226,16 +313,84 @@ void RemoteReader<T>::check_poisoned() const {
 }
 
 template <typename T>
-RetrievalPlan RemoteReader<T>::plan(const Request& req) {
-  check_poisoned();
-  RetrievalPlan p = reader_.plan(req);
-  const PlanReply rep = archive_.plan_remote(p.epoch, req);
+void RemoteReader<T>::check_plan_reply(const PlanReply& rep,
+                                       const RetrievalPlan& p) {
   if (rep.bytes_new != p.bytes_new || rep.n_segments != p.segments.size() ||
       rep.epoch != p.epoch) {
     throw std::runtime_error(
         "remote: server plan disagrees with the local mirror (config or "
         "version drift)");
   }
+}
+
+template <typename T>
+void RemoteReader<T>::backoff(int attempt) {
+  std::uint64_t ms = policy_.backoff_base_ms;
+  for (int k = 1; k < attempt && ms < policy_.backoff_max_ms; ++k) ms *= 2;
+  if (ms > policy_.backoff_max_ms) ms = policy_.backoff_max_ms;
+  if (ms == 0) return;
+  // Full jitter: sleep uniformly in [ms/2, ms] so concurrent clients do not
+  // hammer a recovering server in lockstep.
+  const std::uint64_t jittered = ms / 2 + jitter_.uniform_u64(ms / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+}
+
+template <typename T>
+void RemoteReader<T>::recover_connection() {
+  archive_.reconnect();
+  const ResumeReply rep = archive_.resume_remote(history_);
+  if (rep.epoch != reader_.epoch()) {
+    throw std::runtime_error(
+        "remote: resumed session epoch disagrees with the local mirror");
+  }
+  // Every outstanding token lived in the dead connection's session.
+  tokens_.clear();
+  ++recoveries_;
+}
+
+template <typename T>
+template <typename F>
+auto RemoteReader<T>::with_recovery(F&& op) -> decltype(op()) {
+  int attempt = 0;
+  bool healthy = true;
+  while (true) {
+    try {
+      if (!healthy) {
+        recover_connection();
+        healthy = true;
+      }
+      return op();
+    } catch (const WireError& e) {
+      if (e.kind() == WireError::Kind::kProtocol ||
+          ++attempt >= policy_.max_attempts ||
+          recoveries_ >= policy_.recovery_budget) {
+        throw;
+      }
+      ++retries_;
+      healthy = false;
+      backoff(attempt);
+    } catch (const IntegrityError& e) {
+      // Only wire-layer corruption is plausibly transient (a flipped frame);
+      // storage/cache corruption would just reproduce on retry.
+      if (e.layer() != IntegrityError::Layer::kWire ||
+          ++attempt >= policy_.max_attempts ||
+          recoveries_ >= policy_.recovery_budget) {
+        throw;
+      }
+      ++retries_;
+      healthy = false;
+      backoff(attempt);
+    }
+  }
+}
+
+template <typename T>
+RetrievalPlan RemoteReader<T>::plan(const Request& req) {
+  check_poisoned();
+  RetrievalPlan p = reader_.plan(req);
+  const PlanReply rep =
+      with_recovery([&] { return archive_.plan_remote(p.epoch, req); });
+  check_plan_reply(rep, p);
   tokens_[plan_fingerprint(p)] = rep.token;
   return p;
 }
@@ -243,13 +398,27 @@ RetrievalPlan RemoteReader<T>::plan(const Request& req) {
 template <typename T>
 RetrievalStats RemoteReader<T>::execute(const RetrievalPlan& p) {
   check_poisoned();
-  auto it = tokens_.find(plan_fingerprint(p));
-  if (it == tokens_.end()) {
+  const std::string fp = plan_fingerprint(p);
+  if (tokens_.find(fp) == tokens_.end() && recoveries_ == 0) {
     throw std::logic_error(
         "execute: plan was not produced by this reader's plan() (or is "
         "stale)");
   }
-  const ExecReply rep = archive_.execute_remote(it->second);
+  const ExecReply rep = with_recovery([&] {
+    auto it = tokens_.find(fp);
+    std::uint64_t token;
+    if (it == tokens_.end()) {
+      // A recovery invalidated the reservation; the resumed session holds
+      // the same state the plan priced, so re-reserving must agree.
+      const PlanReply fresh = archive_.plan_remote(p.epoch, p.request);
+      check_plan_reply(fresh, p);
+      tokens_[fp] = fresh.token;
+      token = fresh.token;
+    } else {
+      token = it->second;
+    }
+    return archive_.execute_remote(token);
+  });
   // From here the server session has advanced and its staged payloads are
   // consumed.  If the local mirror cannot follow — the decode throws, or the
   // accounting cross-check fails — the two sides are permanently
@@ -264,6 +433,9 @@ RetrievalStats RemoteReader<T>::execute(const RetrievalPlan& p) {
     }
     // The reader advanced; every outstanding token priced the old state.
     tokens_.clear();
+    // Acknowledged on both ends: this request is now part of the state a
+    // RESUME replay must rebuild.
+    history_.push_back(p.request);
     return st;
   } catch (...) {
     poisoned_ = true;

@@ -22,6 +22,8 @@ struct Server::Counters {
   std::atomic<std::uint64_t> payload_bytes_sent{0};
   std::atomic<std::uint64_t> errors_sent{0};
   std::atomic<std::uint64_t> quota_rejections{0};
+  std::atomic<std::uint64_t> slow_client_evictions{0};
+  std::atomic<std::uint64_t> faults_injected{0};
 };
 
 namespace {
@@ -37,6 +39,7 @@ class SessionAny {
   virtual std::vector<Bytes> fetch_for_remote(const RetrievalPlan& p,
                                               RetrievalStats& out) = 0;
   virtual std::uint64_t epoch() const = 0;
+  virtual std::uint64_t bytes_used() const = 0;
 };
 
 template <typename T>
@@ -52,6 +55,7 @@ class SessionOf final : public SessionAny {
     return session_.fetch_for_remote(p, out);
   }
   std::uint64_t epoch() const override { return session_.epoch(); }
+  std::uint64_t bytes_used() const override { return session_.bytes_used(); }
 
  private:
   Session<T> session_;
@@ -185,6 +189,9 @@ ServeStats Server::stats() const {
   s.payload_bytes_sent = c.payload_bytes_sent.load(std::memory_order_relaxed);
   s.errors_sent = c.errors_sent.load(std::memory_order_relaxed);
   s.quota_rejections = c.quota_rejections.load(std::memory_order_relaxed);
+  s.slow_client_evictions =
+      c.slow_client_evictions.load(std::memory_order_relaxed);
+  s.faults_injected = c.faults_injected.load(std::memory_order_relaxed);
   {
     LockGuard lock(mu_);
     for (const auto& [name, handle] : opened_) {
@@ -243,12 +250,29 @@ void Server::worker_loop() {
 }
 
 void Server::serve_connection(Socket sock) {
-  sock.set_timeouts(cfg_.idle_timeout_ms, cfg_.idle_timeout_ms);
+  // Receive waits bound idle reaping; the send deadline bounds how long a
+  // non-draining client may wedge this handler mid-reply.
+  sock.set_timeouts(cfg_.idle_timeout_ms, cfg_.write_deadline_ms);
   FrameChannel ch(std::move(sock), kMaxRequestFrameBytes);
   std::uint64_t conn_id = 0;
   {
     LockGuard lock(mu_);
     conn_id = next_conn_id_++;
+  }
+  std::shared_ptr<FaultPlan> faults;
+  if (cfg_.fault_seed != 0) {
+    // Send-side only: injected faults must never corrupt what the server
+    // *reads* (requests stay trustworthy); clients exercise their recovery
+    // path against resets, torn writes and stalls.
+    FaultPlan::Profile profile;
+    profile.reset_p = 0.002;
+    profile.torn_p = 0.05;
+    profile.eintr_p = 0.02;
+    profile.delay_p = 0.01;
+    profile.on_reads = false;
+    profile.on_writes = true;
+    faults = FaultPlan::random(cfg_.fault_seed ^ conn_id, profile);
+    ch.set_fault_injector(faults);
   }
   LiveSocketGuard guard(mu_, live_socks_, conn_id, &ch.socket());
   ConnState st;
@@ -270,8 +294,14 @@ void Server::serve_connection(Socket sock) {
     counters_->by_op[op_slot(f->op)].fetch_add(1, std::memory_order_relaxed);
     try {
       alive = handle_frame(ch, st, *f);
-    } catch (const WireError&) {
-      break;  // peer vanished while we were replying
+    } catch (const WireError& e) {
+      if (e.kind() == WireError::Kind::kTimeout) {
+        // The reply path timed out: a slow client held the socket full past
+        // the write deadline.  Evict it.
+        counters_->slow_client_evictions.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
+      break;  // peer vanished (or stalled) while we were replying
     } catch (const std::exception& e) {
       // Body parse failures (strict ByteReader) and anything else that
       // escaped the per-op handling: report and drop the connection.
@@ -282,6 +312,10 @@ void Server::serve_connection(Socket sock) {
   counters_->wire_bytes_in.fetch_add(ch.bytes_in(), std::memory_order_relaxed);
   counters_->wire_bytes_out.fetch_add(ch.bytes_out(),
                                       std::memory_order_relaxed);
+  if (faults) {
+    counters_->faults_injected.fetch_add(faults->injected(),
+                                         std::memory_order_relaxed);
+  }
 }
 
 void Server::send_frame(FrameChannel& ch, Op op, const ByteWriter& w) {
@@ -374,9 +408,15 @@ bool Server::handle_frame(FrameChannel& ch, ConnState& st, const Frame& f) {
       w.varint(header.size());
       w.bytes({header.data(), header.size()});
       w.varint(ids.size());
+      // v4 archives carry a checksum column (all-or-nothing per archive);
+      // the client verifies every SEGMENT payload against it.
+      const bool has_checksums =
+          !ids.empty() && os.handle->segment_checksum(ids.front()).has_value();
+      w.u8(has_checksums ? 1 : 0);
       for (const SegmentId& id : ids) {
         w.u64(id.key(os.handle->version()));
         w.varint(os.handle->segment_size(id));
+        if (has_checksums) w.u64(*os.handle->segment_checksum(id));
       }
       st.opens.emplace(open_id, std::move(os));
       send_frame(ch, Op::kOpenOk, w);
@@ -470,6 +510,59 @@ bool Server::handle_frame(FrameChannel& ch, ConnState& st, const Frame& f) {
       // The session advanced: every outstanding token priced the old state.
       os.tokens.clear();
       send_frame(ch, Op::kExecuteOk, w);
+      return true;
+    }
+
+    case Op::kResume: {
+      const std::uint32_t open_id = r.u32();
+      const std::uint64_t n = r.varint();
+      if (n > kMaxResumeRequests) {
+        send_error(ch, ErrCode::kBadRequest,
+                   "resume history exceeds the protocol cap", n,
+                   kMaxResumeRequests);
+        return true;
+      }
+      std::vector<Request> history;
+      history.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) history.push_back(read_request(r));
+      require_end();
+      auto it = st.opens.find(open_id);
+      if (it == st.opens.end()) {
+        send_error(ch, ErrCode::kBadSequence, "unknown open id", open_id);
+        return true;
+      }
+      OpenState& os = it->second;
+      // Rebuild the session from scratch and replay the client's
+      // acknowledged history through the exact plan/fetch path the original
+      // requests took: residency, epoch and the quota ledger land where the
+      // dead connection left them, and the shared cache makes the re-fetch
+      // cheap.  Payloads are discarded — the client already holds them.
+      std::unique_ptr<SessionAny> fresh;
+      try {
+        fresh = make_session(os.handle, cfg_.session_quota);
+        for (const Request& req : history) {
+          const RetrievalPlan plan = fresh->plan(req);
+          RetrievalStats ignored;
+          fresh->fetch_for_remote(plan, ignored);
+        }
+      } catch (const QuotaExceeded& e) {
+        counters_->quota_rejections.fetch_add(1, std::memory_order_relaxed);
+        send_error(ch, ErrCode::kQuotaExceeded, e.what(), e.needed(),
+                   e.remaining());
+        return true;
+      } catch (const std::logic_error& e) {
+        send_error(ch, ErrCode::kStalePlan, e.what());
+        return true;
+      } catch (const std::exception& e) {
+        send_error(ch, ErrCode::kBadRequest, e.what());
+        return true;
+      }
+      os.session = std::move(fresh);
+      os.tokens.clear();  // reservations priced the replaced session
+      ByteWriter w;
+      w.varint(os.session->epoch());
+      w.varint(os.session->bytes_used());
+      send_frame(ch, Op::kResumeOk, w);
       return true;
     }
 

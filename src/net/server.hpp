@@ -44,9 +44,20 @@ struct ServerConfig {
   /// owns one connection at a time; excess connections queue in the kernel
   /// backlog).
   unsigned workers = 4;
-  /// Per-connection receive/send timeout; an idle connection is reaped when
-  /// it expires.  0 disables.
+  /// Per-connection receive timeout; an idle connection is reaped when it
+  /// expires.  0 disables.
   int idle_timeout_ms = 30000;
+  /// Per-connection send deadline: a client that stops draining its socket
+  /// for this long mid-reply is evicted (counted in
+  /// ServeStats::slow_client_evictions) instead of wedging a handler
+  /// thread.  0 disables.
+  int write_deadline_ms = 10000;
+  /// Nonzero: every connection's wire I/O runs under a seeded random
+  /// FaultPlan (send-side resets, torn writes, EINTR, delay spikes — never
+  /// payload corruption), deterministically derived from seed ^ connection
+  /// id.  Soak-testing knob (`ipc serve --fault-seed`); injected fault
+  /// counts surface as ServeStats::faults_injected.
+  std::uint64_t fault_seed = 0;
   /// Byte quota for each (connection, archive) session; 0 = unlimited.
   std::uint64_t session_quota = 0;
   /// OPENs one connection may hold at once.

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstddef>
 #include <cstring>
 
 namespace ipcomp::net {
@@ -17,7 +18,46 @@ namespace ipcomp::net {
 namespace {
 
 [[noreturn]] void throw_errno(WireError::Kind kind, const std::string& what) {
-  throw WireError(kind, what + ": " + std::strerror(errno));
+  throw WireError(kind, what, errno, "");
+}
+
+/// Peer address of a connected socket for error context: "ip:port" for
+/// AF_INET, "unix:<path>" (often just "unix:" — client sockets are unnamed)
+/// for AF_UNIX, "" when the socket has no peer.
+std::string peer_name(const Socket& sock) {
+  if (!sock.valid()) return "";
+  sockaddr_storage ss{};
+  socklen_t len = sizeof ss;
+  if (::getpeername(sock.fd(), reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    return "";
+  }
+  if (ss.ss_family == AF_INET) {
+    const auto* in = reinterpret_cast<const sockaddr_in*>(&ss);
+    char ip[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &in->sin_addr, ip, sizeof ip);
+    return std::string(ip) + ":" + std::to_string(ntohs(in->sin_port));
+  }
+  if (ss.ss_family == AF_UNIX) {
+    const auto* un = reinterpret_cast<const sockaddr_un*>(&ss);
+    // sun_path may be empty (unnamed) and is not guaranteed terminated.
+    const std::size_t cap = len > offsetof(sockaddr_un, sun_path)
+                                ? len - offsetof(sockaddr_un, sun_path)
+                                : 0;
+    return "unix:" + std::string(un->sun_path,
+                                 ::strnlen(un->sun_path, cap));
+  }
+  return "";
+}
+
+std::string compose_wire_message(const std::string& op, int sys_errno,
+                                 const std::string& peer) {
+  std::string out = op;
+  if (!peer.empty()) out += " (peer " + peer + ")";
+  if (sys_errno != 0) {
+    out += ": ";
+    out += std::strerror(sys_errno);
+  }
+  return out;
 }
 
 sockaddr_un make_unix_addr(const std::string& path) {
@@ -44,6 +84,14 @@ sockaddr_in make_inet_addr(const std::string& host, std::uint16_t port) {
 }
 
 }  // namespace
+
+WireError::WireError(Kind kind, const std::string& op, int sys_errno,
+                     const std::string& peer)
+    : std::runtime_error(compose_wire_message(op, sys_errno, peer)),
+      kind_(kind),
+      op_(op),
+      errno_(sys_errno),
+      peer_(peer) {}
 
 Address Address::parse(const std::string& spec) {
   Address a;
@@ -197,6 +245,9 @@ std::string Listener::address() const {
   return a.to_string();
 }
 
+FrameChannel::FrameChannel(Socket sock, std::size_t max_frame)
+    : sock_(std::move(sock)), max_frame_(max_frame), peer_(peer_name(sock_)) {}
+
 void FrameChannel::send(Op op, std::span<const std::uint8_t> body) {
   if (body.size() + 1 > kMaxFrameBytes) {
     throw WireError(WireError::Kind::kProtocol, "frame too large to send");
@@ -206,13 +257,24 @@ void FrameChannel::send(Op op, std::span<const std::uint8_t> body) {
   head.u8(static_cast<std::uint8_t>(op));
   auto send_all = [&](const std::uint8_t* data, std::size_t len) {
     while (len > 0) {
-      const ssize_t n = ::send(sock_.fd(), data, len, MSG_NOSIGNAL);
+      std::size_t want = len;
+      if (faults_) {
+        if (faults_->drop(FaultOp::kWrite)) {
+          sock_.shutdown_both();
+          throw WireError(WireError::Kind::kIo, "send (injected reset)",
+                          ECONNRESET, peer_);
+        }
+        want = faults_->clamp(FaultOp::kWrite, len);
+        if (want == 0) continue;  // injected EINTR: retry like the real one
+      }
+      const ssize_t n = ::send(sock_.fd(), data, want, MSG_NOSIGNAL);
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-          throw WireError(WireError::Kind::kTimeout, "send timed out");
+          throw WireError(WireError::Kind::kTimeout, "send timed out", errno,
+                          peer_);
         }
-        throw_errno(WireError::Kind::kIo, "send");
+        throw WireError(WireError::Kind::kIo, "send", errno, peer_);
       }
       data += n;
       len -= static_cast<std::size_t>(n);
@@ -229,17 +291,33 @@ std::optional<Frame> FrameChannel::recv() {
   auto recv_all = [&](std::uint8_t* data, std::size_t len, bool eof_ok) {
     std::size_t got = 0;
     while (got < len) {
-      const ssize_t n = ::recv(sock_.fd(), data + got, len - got, 0);
+      std::size_t want = len - got;
+      if (faults_) {
+        if (faults_->drop(FaultOp::kRead)) {
+          sock_.shutdown_both();
+          throw WireError(WireError::Kind::kClosed, "recv (injected reset)",
+                          ECONNRESET, peer_);
+        }
+        want = faults_->clamp(FaultOp::kRead, want);
+        if (want == 0) continue;  // injected EINTR: retry like the real one
+      }
+      const ssize_t n = ::recv(sock_.fd(), data + got, want, 0);
       if (n == 0) {
         if (eof_ok && got == 0) return false;
-        throw WireError(WireError::Kind::kClosed, "peer closed mid-frame");
+        throw WireError(WireError::Kind::kClosed, "recv: peer closed mid-frame",
+                        0, peer_);
       }
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          throw WireError(WireError::Kind::kTimeout, "recv timed out");
+          throw WireError(WireError::Kind::kTimeout, "recv timed out", errno,
+                          peer_);
         }
-        throw_errno(WireError::Kind::kIo, "recv");
+        throw WireError(WireError::Kind::kIo, "recv", errno, peer_);
+      }
+      if (faults_) {
+        faults_->corrupt(FaultOp::kRead, data + got,
+                         static_cast<std::size_t>(n));
       }
       got += static_cast<std::size_t>(n);
       bytes_in_ += static_cast<std::uint64_t>(n);
@@ -352,6 +430,8 @@ void write_serve_stats(ByteWriter& w, const ServeStats& s) {
   w.varint(s.cache.resident_bytes);
   w.varint(s.cache.capacity_bytes);
   w.varint(s.cache.entries);
+  w.varint(s.slow_client_evictions);
+  w.varint(s.faults_injected);
 }
 
 ServeStats read_serve_stats(ByteReader& r) {
@@ -379,6 +459,8 @@ ServeStats read_serve_stats(ByteReader& r) {
   s.cache.resident_bytes = r.varint();
   s.cache.capacity_bytes = r.varint();
   s.cache.entries = r.varint();
+  s.slow_client_evictions = r.varint();
+  s.faults_injected = r.varint();
   return s;
 }
 

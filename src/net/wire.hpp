@@ -16,6 +16,11 @@
 //        Request)            n_segments, epoch)
 //   EXECUTE(open_id,      -> SEGMENT(key, payload) ... per planned segment,
 //           token)           then EXECUTE_OK(stats)
+//   RESUME(open_id, n,    -> RESUME_OK(epoch, bytes_used)  replays a prior
+//          Request x n)      session's executed requests against a fresh
+//                            session WITHOUT streaming payloads — the
+//                            reconnect path of a self-healing client that
+//                            still holds the decoded state locally
 //   STAT()                -> STAT_OK(ServeStats)
 //   CLOSE(open_id)        -> CLOSE_OK()
 //   anything invalid      -> ERROR(code, message, a, b)
@@ -32,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -41,11 +47,14 @@
 #include "core/request.hpp"
 #include "io/bytes.hpp"
 #include "serve/cache.hpp"
+#include "util/fault.hpp"
 
 namespace ipcomp::net {
 
 /// Protocol version exchanged in HELLO; bumped on any incompatible change.
-inline constexpr std::uint32_t kWireVersion = 1;
+/// v2: OPEN_OK gained the segment-checksum column, RESUME was added, and
+/// STAT_OK grew the fault-tolerance counters.
+inline constexpr std::uint32_t kWireVersion = 2;
 
 /// Hard cap on a frame a *client* accepts: segment payloads ride in single
 /// frames, so this bounds the largest single segment (256 MiB is far above
@@ -70,6 +79,7 @@ enum class Op : std::uint8_t {
   kExecute = 0x04,
   kStat = 0x05,
   kClose = 0x06,
+  kResume = 0x07,
   // Server -> client.
   kHelloOk = 0x81,
   kOpenOk = 0x82,
@@ -78,11 +88,16 @@ enum class Op : std::uint8_t {
   kExecuteOk = 0x85,
   kStatOk = 0x86,
   kCloseOk = 0x87,
+  kResumeOk = 0x88,
   kError = 0xFF,
 };
 
-/// Number of request opcodes (kHello..kClose are contiguous from 0x01).
-inline constexpr std::size_t kRequestOpCount = 6;
+/// Number of request opcodes (kHello..kResume are contiguous from 0x01).
+inline constexpr std::size_t kRequestOpCount = 7;
+/// Most executed requests one RESUME may replay; a longer history cannot be
+/// resumed (the client falls back to failing fast) and a forged count cannot
+/// drive server-side work.
+inline constexpr std::size_t kMaxResumeRequests = 1024;
 /// Stats slot for a raw request opcode: 0..kRequestOpCount-1 per opcode,
 /// kRequestOpCount for anything unknown.
 inline std::size_t op_slot(std::uint8_t raw) {
@@ -114,15 +129,34 @@ struct Frame {
 /// Peer closed or timed out in the middle of a frame, or sent one that
 /// violates the framing rules (zero/oversized length).  Distinct from
 /// std::runtime_error so handlers can reap quietly instead of reporting.
+///
+/// Errors raised by FrameChannel carry context — the operation name, the
+/// saved errno (with its strerror text folded into what()), and the peer
+/// address — so a failure in a multi-client log reads "recv from
+/// 10.0.0.7:51234: Connection reset by peer", not just "short read".
 class WireError : public std::runtime_error {
  public:
   enum class Kind { kProtocol, kTimeout, kClosed, kIo };
   WireError(Kind kind, const std::string& what)
       : std::runtime_error(what), kind_(kind) {}
+  /// Full-context form: `op` names the failing operation ("send", "recv",
+  /// "connect to ..."), `sys_errno` is the saved errno (0 = none), `peer`
+  /// the remote address label.  what() composes all three.
+  WireError(Kind kind, const std::string& op, int sys_errno,
+            const std::string& peer);
   Kind kind() const { return kind_; }
+  /// The failing operation, empty for context-free errors.
+  const std::string& op() const { return op_; }
+  /// Saved errno at the failure point; 0 when not errno-driven.
+  int sys_errno() const { return errno_; }
+  /// Peer address label ("ip:port", "unix:/path"), empty when unknown.
+  const std::string& peer() const { return peer_; }
 
  private:
   Kind kind_;
+  std::string op_;
+  int errno_ = 0;
+  std::string peer_;
 };
 
 /// The ERROR frame a server explains a rejection with; client-side it is
@@ -213,10 +247,11 @@ class Listener {
 
 /// Frame I/O over one socket: length-prefixed send/recv with a hard cap on
 /// accepted frame length, plus wire byte counters for the stats surface.
+/// The peer address is captured at construction and folded into every
+/// WireError this channel throws.
 class FrameChannel {
  public:
-  FrameChannel(Socket sock, std::size_t max_frame)
-      : sock_(std::move(sock)), max_frame_(max_frame) {}
+  FrameChannel(Socket sock, std::size_t max_frame);
 
   /// Send one frame (blocking, complete).  Throws WireError on failure.
   void send(Op op, std::span<const std::uint8_t> body);
@@ -228,13 +263,25 @@ class FrameChannel {
   /// EOF mid-frame.
   std::optional<Frame> recv();
 
+  /// Install a fault injector consulted around every raw socket I/O
+  /// (util/fault.hpp); nullptr uninstalls.  This is the wire seam of the
+  /// deterministic fault-injection harness — torn reads/writes, EINTR
+  /// storms, bit flips and resets all enter here.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    faults_ = std::move(injector);
+  }
+
   Socket& socket() { return sock_; }
+  /// Peer address label this channel reports in errors.
+  const std::string& peer() const { return peer_; }
   std::uint64_t bytes_in() const { return bytes_in_; }
   std::uint64_t bytes_out() const { return bytes_out_; }
 
  private:
   Socket sock_;
   std::size_t max_frame_;
+  std::string peer_;
+  std::shared_ptr<FaultInjector> faults_;
   std::uint64_t bytes_in_ = 0;
   std::uint64_t bytes_out_ = 0;
 };
@@ -254,7 +301,7 @@ struct ServeStats {
   std::uint64_t frames_in = 0;
   std::uint64_t frames_out = 0;
   /// Per request opcode (op_slot order: HELLO, OPEN, PLAN, EXECUTE, STAT,
-  /// CLOSE, unknown).
+  /// CLOSE, RESUME, unknown).
   std::vector<std::uint64_t> frames_by_opcode =
       std::vector<std::uint64_t>(kRequestOpCount + 1, 0);
   std::uint64_t wire_bytes_in = 0;
@@ -263,6 +310,12 @@ struct ServeStats {
   std::uint64_t payload_bytes_sent = 0;
   std::uint64_t errors_sent = 0;
   std::uint64_t quota_rejections = 0;
+  /// Connections dropped because the peer could not drain a reply within
+  /// the per-connection write deadline (slow-client eviction).
+  std::uint64_t slow_client_evictions = 0;
+  /// Wire faults fired by the server's own --fault-seed injector (0 unless
+  /// fault injection is enabled).
+  std::uint64_t faults_injected = 0;
   /// Physical volume: what the opened archives' base sources actually read.
   std::uint64_t physical_bytes_read = 0;
   std::uint64_t physical_read_calls = 0;

@@ -56,7 +56,11 @@ std::vector<Bytes> SessionSource::read_many(std::span<const SegmentId> ids) {
     // like every other source.
     std::vector<Bytes> fetched = handle_->pooled().read_many(missing);
     for (std::size_t j = 0; j < missing.size(); ++j) {
-      cache.put({serial, missing[j].key(ver)}, fetched[j]);
+      // The insert re-verifies against the archive's recorded checksum (v4):
+      // the pool handed these bytes across threads and queues, and whatever
+      // lands in the cache is replayed to every later session.
+      cache.put({serial, missing[j].key(ver)}, fetched[j],
+                handle_->segment_checksum(missing[j]), ver);
       out[missing_at[j]] = std::move(fetched[j]);
     }
     count_read_call();

@@ -90,6 +90,9 @@ class ArchiveHandle {
   std::size_t segment_size(SegmentId id) const { return base_->segment_size(id); }
   std::vector<SegmentId> segment_ids() const { return base_->segment_ids(); }
   std::uint32_t version() const { return base_->version(); }
+  std::optional<std::uint64_t> segment_checksum(SegmentId id) const {
+    return base_->segment_checksum(id);
+  }
   std::size_t total_size() const { return base_->total_size(); }
 
  private:
@@ -132,6 +135,9 @@ class SessionSource final : public SegmentSource {
     return handle_->segment_ids();
   }
   std::uint32_t version() const override { return handle_->version(); }
+  std::optional<std::uint64_t> segment_checksum(SegmentId id) const override {
+    return handle_->segment_checksum(id);
+  }
   std::size_t total_size() const override { return handle_->total_size(); }
 
  private:

@@ -1,5 +1,7 @@
 #include "serve/cache.hpp"
 
+#include "util/checksum.hpp"
+
 namespace ipcomp {
 
 bool SegmentCache::get(const CacheKey& key, Bytes& out) {
@@ -15,7 +17,18 @@ bool SegmentCache::get(const CacheKey& key, Bytes& out) {
   return true;
 }
 
-void SegmentCache::put(const CacheKey& key, const Bytes& payload) {
+void SegmentCache::put(const CacheKey& key, const Bytes& payload,
+                       std::optional<std::uint64_t> expected,
+                       std::uint32_t key_version) {
+  if (expected) {
+    // Verified outside the lock: hashing is pure and the payload is the
+    // caller's copy, so concurrent puts don't serialize on the hash.
+    const std::uint64_t actual = checksum64(payload.data(), payload.size());
+    if (actual != *expected) {
+      throw IntegrityError(SegmentId::from_key(key.segment, key_version),
+                           *expected, actual, IntegrityError::Layer::kCache);
+    }
+  }
   if (payload.size() > capacity_) return;
   LockGuard lock(mu_);
   auto it = map_.find(key);

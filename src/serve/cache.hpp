@@ -16,8 +16,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <optional>
 #include <unordered_map>
 
+#include "io/archive.hpp"
 #include "io/bytes.hpp"
 #include "util/sync.hpp"
 
@@ -80,8 +82,16 @@ class SegmentCache {
 
   /// Inserts (or refreshes) `key`, evicting least-recently-used entries
   /// until the payload fits.  Payloads larger than the capacity are not
-  /// cached at all.
-  void put(const CacheKey& key, const Bytes& payload) IPCOMP_EXCLUDES(mu_);
+  /// cached at all.  When `expected` is set (a v4 archive's recorded
+  /// checksum), the payload is verified before insertion and a mismatch
+  /// throws IntegrityError{.layer = kCache} without caching anything — the
+  /// cache is a trust boundary: a payload corrupted between the physical
+  /// read and the insert must not be replayed to every later session.
+  /// `key_version` is the archive version CacheKey::segment was packed
+  /// under, used only to name the segment in the error.
+  void put(const CacheKey& key, const Bytes& payload,
+           std::optional<std::uint64_t> expected = std::nullopt,
+           std::uint32_t key_version = kArchiveV2) IPCOMP_EXCLUDES(mu_);
 
   CacheStats stats() const IPCOMP_EXCLUDES(mu_);
 

@@ -50,6 +50,9 @@ class PooledSource final : public SegmentSource {
   }
   std::vector<SegmentId> segment_ids() const override { return base_.segment_ids(); }
   std::uint32_t version() const override { return base_.version(); }
+  std::optional<std::uint64_t> segment_checksum(SegmentId id) const override {
+    return base_.segment_checksum(id);
+  }
   std::size_t total_size() const override { return base_.total_size(); }
 
  private:

@@ -1,0 +1,100 @@
+#include "util/checksum.hpp"
+
+#include <cstring>
+
+namespace ipcomp {
+
+namespace {
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t rotl(std::uint64_t v, int r) {
+  return (v << r) | (v >> (64 - r));
+}
+
+inline std::uint64_t load64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline std::uint64_t round64(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kPrime2;
+  return rotl(acc, 31) * kPrime1;
+}
+
+inline std::uint64_t merge_round(std::uint64_t acc, std::uint64_t lane) {
+  acc ^= round64(0, lane);
+  return acc * kPrime1 + kPrime4;
+}
+
+}  // namespace
+
+std::uint64_t checksum64(const std::uint8_t* data, std::size_t n,
+                         std::uint64_t seed) {
+  const std::uint8_t* p = data;
+  const std::uint8_t* const end = data + n;
+  std::uint64_t h;
+
+  if (n >= 32) {
+    // Four independent accumulators, one 32-byte stripe per iteration; the
+    // lanes have no cross-dependency so the compiler keeps them in flight
+    // simultaneously.
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    const std::uint8_t* const stripe_end = end - 32;
+    do {
+      v1 = round64(v1, load64(p));
+      v2 = round64(v2, load64(p + 8));
+      v3 = round64(v3, load64(p + 16));
+      v4 = round64(v4, load64(p + 24));
+      p += 32;
+    } while (p <= stripe_end);
+    h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(n);
+
+  while (p + 8 <= end) {
+    h ^= round64(0, load64(p));
+    h = rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(load32(p)) * kPrime1;
+    h = rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+    h = rotl(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace ipcomp

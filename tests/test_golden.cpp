@@ -91,6 +91,9 @@ GoldenHashes run_case(const Dims& dims, BackendId be, std::size_t block_side,
   opt.progressive_threshold = threshold;
   opt.error_bound = 1e-4;
   opt.codec = codec;
+  // The constants pin the pre-v4 container bytes; the v4 integrity wrapper
+  // is covered by Golden.IntegrityV4Transparent below.
+  opt.integrity = false;
   Bytes archive = compress(field.const_view(), opt);
 
   GoldenHashes g{};
@@ -221,6 +224,7 @@ TEST(Golden, InterpV2Region) {
   opt.block_side = 16;
   opt.progressive_threshold = 256;
   opt.error_bound = 1e-4;
+  opt.integrity = false;  // constants pin the pre-v4 container bytes
   Bytes archive = compress(field.const_view(), opt);
   MemorySource src{Bytes(archive)};
   ProgressiveReader<double> reader(src);
@@ -240,6 +244,39 @@ TEST(Golden, InterpV2Region) {
   EXPECT_EQ(h_region, 0x8e3910b7264a48eaull) << "region reconstruction changed";
   EXPECT_EQ(h_full, 0x2ae74f8883dd3250ull)
       << "full-after-region reconstruction changed";
+}
+
+// The v4 integrity wrapper (the default) must be transparent: identical
+// reconstructions at every request, same base version, bigger container (the
+// checksum column), pre-v4 payload bytes preserved inside.
+TEST(Golden, IntegrityV4Transparent) {
+  auto field = golden_field<double>(Dims{40, 40, 40}, 12);
+  Options legacy;
+  legacy.block_side = 16;
+  legacy.progressive_threshold = 256;
+  legacy.error_bound = 1e-4;
+  legacy.integrity = false;
+  Options v4 = legacy;
+  v4.integrity = true;
+  Bytes legacy_bytes = compress(field.const_view(), legacy);
+  Bytes v4_bytes = compress(field.const_view(), v4);
+  ASSERT_NE(fnv1a(legacy_bytes.data(), legacy_bytes.size()),
+            fnv1a(v4_bytes.data(), v4_bytes.size()));
+  ASSERT_GT(v4_bytes.size(), legacy_bytes.size());
+
+  MemorySource legacy_src{Bytes(legacy_bytes)};
+  MemorySource v4_src{Bytes(v4_bytes)};
+  ASSERT_EQ(legacy_src.version(), v4_src.version());
+  ProgressiveReader<double> legacy_reader(legacy_src);
+  ProgressiveReader<double> v4_reader(v4_src);
+  const double eb = legacy_reader.compression_eb();
+  for (const Request& req : {Request::error_bound(1e3 * eb),
+                             Request::error_bound(8 * eb), Request::full()}) {
+    legacy_reader.retrieve(req);
+    v4_reader.retrieve(req);
+    EXPECT_EQ(hash_values(legacy_reader.data()), hash_values(v4_reader.data()))
+        << "v4 wrapper changed a reconstruction";
+  }
 }
 
 }  // namespace

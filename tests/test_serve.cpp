@@ -16,6 +16,7 @@
 
 #include "ipcomp.hpp"
 #include "test_util.hpp"
+#include "util/checksum.hpp"
 
 namespace ipcomp {
 namespace {
@@ -82,6 +83,32 @@ TEST(SegmentCache, OversizedPayloadIsNotCachedAndCapacityHolds) {
   EXPECT_EQ(cache.stats().entries, 1u);
 }
 
+TEST(SegmentCache, VerifiedPutRejectsCorruptPayloadAtTheBoundary) {
+  SegmentCache cache(1 << 16);
+  Bytes good = payload_of(64, 0xCD);
+  const std::uint64_t sum = checksum64(good.data(), good.size());
+
+  cache.put(seg(9), good, sum);  // verified insert caches normally
+  Bytes out;
+  EXPECT_TRUE(cache.get(seg(9), out));
+  EXPECT_EQ(out, good);
+
+  Bytes bad = good;
+  bad[10] ^= 0x08;
+  try {
+    cache.put(seg(10), bad, sum);
+    FAIL() << "corrupted payload accepted into the cache";
+  } catch (const IntegrityError& e) {
+    EXPECT_EQ(e.layer(), IntegrityError::Layer::kCache);
+    EXPECT_EQ(e.expected(), sum);
+  }
+  EXPECT_FALSE(cache.get(seg(10), out));
+
+  // Pre-v4 archives have no checksum column: unverified puts still cache.
+  cache.put(seg(11), bad);
+  EXPECT_TRUE(cache.get(seg(11), out));
+}
+
 TEST(SegmentCache, SameSegmentKeyInTwoArchivesIsTwoEntries) {
   SegmentCache cache(128);
   cache.put({1, 42}, payload_of(8, 0x11));
@@ -92,6 +119,28 @@ TEST(SegmentCache, SameSegmentKeyInTwoArchivesIsTwoEntries) {
   ASSERT_TRUE(cache.get({2, 42}, out));
   EXPECT_EQ(out, payload_of(8, 0x22));
   EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+// The handle forwards the v4 checksum column so downstream trust boundaries
+// (session cache inserts, wire SEGMENT frames) can re-verify payloads.
+TEST(Serve, HandleForwardsChecksumColumnAndSessionsCacheVerified) {
+  auto field = smooth_field(Dims{16, 12, 8}, 57, 0.05);
+  Bytes archive = make_archive(field, 1e-6, 8);  // Options::integrity → v4
+
+  ArchiveSet set;
+  auto handle = set.open_memory("a", Bytes(archive));
+  MemorySource ref{Bytes(archive)};
+  const std::vector<SegmentId> ids = handle->segment_ids();
+  ASSERT_FALSE(ids.empty());
+  for (const SegmentId& id : ids) {
+    ASSERT_TRUE(handle->segment_checksum(id).has_value());
+    EXPECT_EQ(handle->segment_checksum(id), ref.segment_checksum(id));
+  }
+
+  // Session traffic reaches the shared cache only through verified inserts.
+  Session<double> session(handle);
+  session.retrieve(Request::full());
+  EXPECT_GT(handle->cache_stats().entries, 0u);
 }
 
 // ---- PooledSource ---------------------------------------------------------
